@@ -1,0 +1,48 @@
+"""Fig. 10 bench: preservation and checkpoint/replication data volumes.
+
+Run: ``pytest benchmarks/bench_fig10.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.bench.fig8 import SCHEME_ORDER
+from repro.bench.fig10 import PAPER_CKPT_NETWORK, PAPER_PRESERVATION, run_fig10
+
+DURATION = 900.0
+
+
+@pytest.mark.parametrize("app_name", ["bcp", "signalguru"])
+def test_fig10_data_volumes(benchmark, app_name):
+    rel = benchmark.pedantic(
+        lambda: run_fig10(app_name, duration_s=DURATION), rounds=1, iterations=1
+    )
+    print(f"\n[fig10/{app_name}] (relative to ms-8 = 1)")
+    for label in SCHEME_ORDER:
+        print(f"  {label:7s} preservation {rel[label]['preservation']:5.2f} "
+              f"(paper {PAPER_PRESERVATION[app_name][label]:5.2f})   "
+              f"ckpt-net {rel[label]['ckpt_network']:5.2f} "
+              f"(paper {PAPER_CKPT_NETWORK[app_name][label]:5.2f})")
+
+    # (a) input/source preservation:
+    assert rel["base"]["preservation"] == 0.0
+    assert rel["rep-2"]["preservation"] == 0.0
+    # prior checkpoint schemes retain far more than MobiStreams' sources.
+    for label in ("local", "dist-1"):
+        assert rel[label]["preservation"] > 1.5
+    # MobiStreams is the normalizer.
+    assert rel["ms-8"]["preservation"] == pytest.approx(1.0)
+
+    # (b) checkpoint/replication network bytes:
+    assert rel["base"]["ckpt_network"] == 0.0
+    assert rel["local"]["ckpt_network"] < 0.05  # acks only, no state
+    # rep-2 duplicates the dataflow: by far the largest network cost.
+    assert rel["rep-2"]["ckpt_network"] > 3.0
+    # dist-1 sends one unicast state copy per node per period — the same
+    # order as ms's broadcast (paper: 0.71-0.76x; ours lands near 1x
+    # because ms's bitmap/TCP-tree overhead is small at 8% loss).
+    assert rel["dist-1"]["ckpt_network"] < 1.35
+    # dist-n grows ~linearly in n.
+    assert (rel["dist-1"]["ckpt_network"] < rel["dist-2"]["ckpt_network"]
+            < rel["dist-3"]["ckpt_network"])
+    ratio = rel["dist-2"]["ckpt_network"] / rel["dist-1"]["ckpt_network"]
+    assert 1.5 < ratio < 2.5  # ≈ 2x for twice the copies

@@ -1,0 +1,77 @@
+"""Fig. 9 bench: n simultaneous failures/departures in one period.
+
+Run: ``pytest benchmarks/bench_fig9.py --benchmark-only -s``
+"""
+
+import pytest
+
+from repro.bench.fig9 import run_fig9
+
+DURATION = 700.0
+MAX_N = 6
+
+
+@pytest.mark.parametrize("app_name", ["bcp", "signalguru"])
+def test_fig9_curves(benchmark, app_name):
+    curves = benchmark.pedantic(
+        lambda: run_fig9(app_name, duration_s=DURATION, max_n=MAX_N),
+        rounds=1, iterations=1,
+    )
+    print(f"\n[fig9/{app_name}]")
+    for label, series in curves.items():
+        pts = " ".join(f"n={n}:{rt*100:.0f}%/{rl:.2f}x{'' if ok else '!DEAD'}"
+                       for n, rt, rl, ok in series)
+        print(f"  {label}: {pts}")
+
+    ms_fail = curves["ms-8 failure"]
+    # Finding 1: MobiStreams recovers at every n; the overhead is roughly
+    # flat (constant recovery cost regardless of burst size).
+    assert all(ok for _n, _rt, _rl, ok in ms_fail)
+    tputs = [rt for _n, rt, _rl, _ok in ms_fail[1:]]
+    assert max(tputs) - min(tputs) < 0.35  # flat-ish curve
+    assert min(tputs) > 0.5
+
+    # Finding 2: dist-n dies beyond n; rep-2 beyond 1 (curves simply end).
+    assert len(curves["rep-2 failure"]) == 2
+    assert len(curves["dist-1 failure"]) == 2
+    assert len(curves["dist-2 failure"]) == 3
+    assert len(curves["dist-3 failure"]) == 4
+
+    # Finding 3: a single departure costs less than a single failure
+    # (state transfer only — no restore, no catch-up).
+    dep1 = curves["ms-8 departure"][1]
+    fail1 = ms_fail[1]
+    assert dep1[2] <= fail1[2] * 1.1  # relative latency no worse
+
+
+@pytest.mark.parametrize("app_name", ["bcp"])
+def test_fig9_departure_contention_grows_with_n(benchmark, app_name):
+    """Many simultaneous departures share the cellular uplink: the state
+    transfers slow each other down, so handling time rises with n
+    (the paper's explanation for departures overtaking failures at
+    large n)."""
+    def run():
+        times = {}
+        for n in (1, MAX_N):
+            from repro.core.system import MobiStreamsSystem, SystemConfig
+            from repro.apps import BCPApp
+            from repro.checkpoint import MobiStreamsScheme
+
+            cfg = SystemConfig(n_regions=1, phones_per_region=8,
+                               idle_per_region=8, master_seed=3)
+            s = MobiStreamsSystem(cfg, BCPApp(), MobiStreamsScheme)
+            s.start()
+            idxs = [3, 4, 5, 6, 2, 7][:n]
+            for i in idxs:
+                s.sim.call_at(450.0, lambda i=i: s.apply_departure(f"region0.p{i}"))
+            s.run(DURATION)
+            done = [r.time for r in s.trace.select("departure_state_transfer")]
+            times[n] = (max(done) - 450.0) if done else float("inf")
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[fig9/{app_name}] departure handling: n=1 {times[1]:.1f}s, "
+          f"n={MAX_N} {times[MAX_N]:.1f}s")
+    # n simultaneous state transfers over the shared uplink take longer
+    # than one.
+    assert times[MAX_N] > times[1]

@@ -1,0 +1,78 @@
+"""Table I bench: MobiStreams vs server-based DSPS.
+
+Run: ``pytest benchmarks/bench_table1.py --benchmark-only -s``
+
+Each bench simulates the deployment once (the *benchmark* time is the
+wall cost of regenerating the row) and prints the paper-vs-measured
+values.  Shape assertions guard the headline: MobiStreams beats the
+server deployment on both axes.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.bench.table1 import PAPER, run_server_point
+
+DURATION = 600.0
+
+
+@pytest.mark.parametrize("app_name", ["bcp", "signalguru"])
+def test_server_dsps_band(benchmark, app_name):
+    def run():
+        lo = run_server_point(app_name, 0.016, DURATION)
+        hi = run_server_point(app_name, 0.32, DURATION)
+        return lo, hi
+
+    (lo_t, lo_l), (hi_t, hi_l) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[table1/{app_name}] server tput {min(lo_t,hi_t):.3f}~{max(lo_t,hi_t):.3f} t/s "
+          f"(paper {PAPER[app_name]['server'][0]}), "
+          f"lat {min(lo_l,hi_l):.0f}~{max(lo_l,hi_l):.0f} s (paper {PAPER[app_name]['server'][1]})")
+    # The uplink bottleneck: even the best server point is far below 1 t/s.
+    assert max(lo_t, hi_t) < 0.5
+
+
+@pytest.mark.parametrize("app_name", ["bcp", "signalguru"])
+def test_mobistreams_beats_server(benchmark, app_name):
+    def run():
+        ms = run_experiment(ExperimentConfig(app=app_name, scheme="base",
+                                             duration_s=DURATION))
+        server_t, server_l = run_server_point(app_name, 0.32, DURATION)
+        return ms, server_t, server_l
+
+    ms, server_t, server_l = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = ms.throughput / server_t
+    lat_cut = 1 - ms.latency / server_l
+    print(f"\n[table1/{app_name}] MobiStreams {ms.throughput:.3f} t/s / {ms.latency:.0f} s "
+          f"vs server {server_t:.3f} t/s / {server_l:.0f} s "
+          f"-> {speedup:.1f}x tput, {lat_cut * 100:.0f}% lat cut "
+          f"(paper: 0.78~42.6x, 10~94.8%)")
+    assert ms.throughput > server_t  # MobiStreams wins on throughput
+    assert ms.latency < server_l     # and on latency
+
+
+@pytest.mark.parametrize("app_name", ["bcp", "signalguru"])
+def test_mobistreams_fault_scenarios(benchmark, app_name):
+    """FT on + periodic departures/failures stays close to FT off."""
+
+    def run():
+        base = run_experiment(ExperimentConfig(app=app_name, scheme="base",
+                                               duration_s=DURATION))
+        # Crash mid-way through the second checkpoint period so an MRC
+        # exists and catch-up replays at most one period of input.
+        fail = run_experiment(ExperimentConfig(
+            app=app_name, scheme="ms-8", duration_s=DURATION,
+            idle_per_region=4, crash=(0.75 * DURATION, [3]),
+        ))
+        return base, fail
+
+    base, fail = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[table1/{app_name}] FT off {base.throughput:.3f} t/s, "
+          f"failure-every-period {fail.throughput:.3f} t/s "
+          f"(paper {PAPER[app_name]['ms_ft_off'][0]} vs {PAPER[app_name]['ms_failures'][0]})")
+    assert fail.recoveries >= 1
+    # A failure per period costs throughput (down time + catch-up
+    # reprocessing) but nowhere near the server-deployment collapse.
+    # Our pipelines run closer to saturation than the paper's testbed,
+    # so catch-up is slower than their 0.48/0.54 ratio (see
+    # EXPERIMENTS.md).
+    assert fail.throughput > 0.4 * base.throughput

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Staged startup: the Section III-A boot protocol, end to end.
+
+Three water-quality monitoring stations (regions) cascaded along a
+river.  Phones drift into each region over time; each registers with the
+controller after a dwell period, regions boot once they hold enough
+phones, and an underpopulated region is bypassed until its phones show
+up.  Run::
+
+    python examples/region_startup.py
+"""
+
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.app import AppSpec
+from repro.core.bootstrap import BootstrapConfig
+from repro.core.graph import QueryGraph
+from repro.core.operator import (
+    MapOperator,
+    SinkOperator,
+    SourceOperator,
+)
+from repro.core.placement import Placement
+from repro.core.system import MobiStreamsSystem, SystemConfig
+from repro.util import KB
+
+
+class WaterQualityApp(AppSpec):
+    """S0 (upstream station) + probe -> calibrate -> aggregate -> K."""
+
+    name = "waterq"
+
+    def build_graph(self):
+        g = QueryGraph()
+        g.add_operator(SourceOperator("S0"))     # data from upstream station
+        g.add_operator(SourceOperator("probe"))  # local turbidity probe
+        g.add_operator(MapOperator("calibrate", lambda v: v * 0.97, cost_s=0.02))
+        g.add_operator(MapOperator("aggregate", lambda v: v, cost_s=0.02))
+        g.add_operator(SinkOperator("K"))
+        g.chain("probe", "calibrate", "aggregate", "K")
+        g.connect("S0", "aggregate")
+        return g
+
+    def build_placement(self, phone_ids):
+        return Placement.pack_groups(
+            [["S0"], ["probe"], ["calibrate"], ["aggregate"], ["K"]], phone_ids)
+
+    def build_workloads(self, rng, region_index):
+        def readings():
+            gen = rng.stream(f"waterq.{region_index}")
+            for _ in range(500):
+                yield (2.0, float(gen.normal(5.0, 1.0)), 1 * KB)
+
+        return {"probe": readings()}
+
+
+def main():
+    system = MobiStreamsSystem(
+        SystemConfig(n_regions=3, phones_per_region=5, idle_per_region=1,
+                     master_seed=9, checkpoint_period_s=120.0),
+        WaterQualityApp(), MobiStreamsScheme)
+
+    # Stations 0 and 2 are populated from the start; station 1's phones
+    # only arrive at t=200s (a bus brings the field team).
+    arrivals = {pid: 200.0 for pid in system.regions[1].phones}
+
+    boot = system.start_staged(
+        BootstrapConfig(dwell_s=15.0, deadline_s=90.0), arrivals=arrivals)
+    system.run(600.0)
+
+    print("boot records:")
+    for name, rec in boot.records.items():
+        status = "SKIPPED, then booted late" if rec.t_ready and rec.t_ready > 100 \
+            else ("ready" if rec.t_ready else "never booted")
+        t = f"{rec.boot_time:6.1f}s" if rec.boot_time else "   -  "
+        print(f"  {name}: boot time {t}  registered {rec.registered} phones"
+              f"  [{status}]")
+
+    print("\nevents:")
+    for cat in ("region_bypassed", "region_booted", "region_unbypassed"):
+        for rec in system.trace.select(cat):
+            print(f"  t={rec.time:6.1f}  {cat:18s} {rec.data.get('region')}")
+
+    m = system.metrics(warmup_s=100.0)
+    print("\nper-station throughput (tuples/s):")
+    for name, rm in m.per_region.items():
+        print(f"  {name}: {rm.throughput_tps:.3f}  ({rm.output_tuples} outputs)")
+    print("\nthe cascade delivered data end-to-end even while station 1 "
+          "was bypassed,\nand re-included it once its phones arrived.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""SignalGuru at an intersection, surviving a burst failure (Fig. 3).
+
+Windshield-camera frames pass three parallel color/shape/motion filter
+chains; a voting stage smooths detections and an online SVM learns the
+signal's transition schedule.  Half-way through, three phones die at
+once — the paper's burst-failure scenario that single-failure schemes
+cannot survive.  Run::
+
+    python examples/signalguru_demo.py
+"""
+
+from repro.apps import SignalGuruApp
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.system import MobiStreamsSystem, SystemConfig
+
+
+def main() -> None:
+    config = SystemConfig(
+        n_regions=2,              # two intersections along the road
+        phones_per_region=8,
+        idle_per_region=4,        # enough spares for a 3-phone burst
+        master_seed=11,
+        checkpoint_period_s=300.0,
+    )
+    system = MobiStreamsSystem(config, SignalGuruApp(), MobiStreamsScheme)
+    system.start()
+
+    # Three cars drive off simultaneously and their phones crash out of
+    # the cluster (burst failure).
+    system.injector.crash_at(
+        420.0, ["region0.p2", "region0.p4", "region0.p6"], reason="burst"
+    )
+
+    print("simulating 15 minutes at two intersections...")
+    system.run(900.0)
+
+    m = system.metrics(warmup_s=120.0)
+    for name, r in m.per_region.items():
+        print(f"{name}: {r.output_tuples} advisories, "
+              f"{r.throughput_tps:.3f}/s, latency {r.mean_latency_s:.1f}s")
+
+    rec = system.trace.last("recovery_finished")
+    if rec:
+        print(f"\nburst of {len(rec.data['failed'])} failures -> "
+              f"{rec.data['outcome']} in {rec.data['duration']:.1f}s")
+    region = system.regions[0]
+    p_node = region.nodes[region.placement.node_for("P", 0)]
+    print(f"SVM training examples absorbed: {p_node.ops['P'].trained}")
+    print(f"checkpoints completed: {system.trace.value('ckpt.region_complete'):.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""The paper's two driving applications, built on the public DSPS API.
+
+* :mod:`repro.apps.bcp` — **Bus Capacity Prediction** (Fig. 2): camera
+  frames at each bus stop are face-counted with a Haar-cascade detector;
+  statistical models predict boarding/alighting/staying passengers; the
+  prediction cascades to the next stop.
+* :mod:`repro.apps.signalguru` — **SignalGuru** (Fig. 3): windshield
+  camera frames pass color/shape/motion filters; a voting stage and an
+  SVM predict traffic-signal transition times, cascaded to the next
+  intersection.
+
+Shared synthetic-vision substrate in :mod:`repro.apps.vision` — the
+cameras and scenes the paper captured with real hardware are generated
+synthetically, but the detectors run real image-processing code on the
+frames (see DESIGN.md's substitution table).
+"""
+
+from repro.apps.bcp.app import BCPApp, BCPParams
+from repro.apps.signalguru.app import SignalGuruApp, SignalGuruParams
+
+__all__ = ["BCPApp", "BCPParams", "SignalGuruApp", "SignalGuruParams"]

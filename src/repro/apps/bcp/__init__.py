@@ -1,0 +1,18 @@
+"""Bus Capacity Prediction (BCP) — the paper's first driving application."""
+
+from repro.apps.bcp.app import BCPApp, BCPParams
+from repro.apps.bcp.models import (
+    AlightingModel,
+    ArrivalTimeModel,
+    BoardingModel,
+    CapacityModel,
+)
+
+__all__ = [
+    "AlightingModel",
+    "ArrivalTimeModel",
+    "BCPApp",
+    "BCPParams",
+    "BoardingModel",
+    "CapacityModel",
+]

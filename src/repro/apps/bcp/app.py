@@ -1,0 +1,158 @@
+"""The BCP application assembly: graph, placement, workloads (Fig. 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.apps.bcp.operators import (
+    AlightingPredictor,
+    ArrivalPredictor,
+    BCPCosts,
+    BoardingPredictor,
+    CameraSource,
+    CapacityPredictor,
+    Dispatcher,
+    FaceCounter,
+    JoinOperator,
+    MotionDetector,
+    NoiseFilter,
+    StopSink,
+    StopSource,
+)
+from repro.apps.vision import FrameSpec
+from repro.core.app import AppSpec
+from repro.core.graph import QueryGraph
+from repro.core.placement import Placement
+from repro.util.units import KB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class BCPParams:
+    """Workload and cost calibration for one deployment.
+
+    Defaults target Table I: camera at ≈0.56 frames/s, four counters with
+    an aggregate capacity of ≈0.59 frames/s — lightly saturated, so
+    fault-tolerance overhead shows up as throughput loss and queueing
+    latency exactly as in Fig. 8.
+    """
+
+    #: Mean camera inter-frame interval, seconds.
+    camera_period_s: float = 1.45
+    #: Encoded frame size on the wire.
+    frame_size: int = 220 * KB
+    #: Number of parallel counter operators.
+    n_counters: int = 4
+    #: People waiting at the stop: Poisson mean.
+    crowd_mean: float = 4.0
+    #: Probability a frame catches only passers-by (dropped by H).
+    transient_prob: float = 0.15
+    #: Per-stage CPU costs.
+    costs: BCPCosts = None  # type: ignore[assignment]
+    #: How many frames the camera produces (None = unbounded).
+    n_frames: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.costs is None:
+            self.costs = BCPCosts()
+        if self.camera_period_s <= 0:
+            raise ValueError("camera period must be positive")
+        if self.n_counters < 1:
+            raise ValueError("need at least one counter")
+
+
+class BCPApp(AppSpec):
+    """Bus Capacity Prediction as an :class:`~repro.core.app.AppSpec`."""
+
+    name = "bcp"
+
+    def __init__(self, params: BCPParams | None = None) -> None:
+        self.params = params or BCPParams()
+
+    # -- graph (Fig. 2) ----------------------------------------------------
+    def build_graph(self) -> QueryGraph:
+        p = self.params
+        c = p.costs
+        g = QueryGraph()
+        g.add_operator(StopSource("S0"))
+        g.add_operator(NoiseFilter("N", cost_s=c.noise_filter))
+        g.add_operator(ArrivalPredictor("A", cost_s=c.predict))
+        g.add_operator(AlightingPredictor("L", cost_s=c.predict))
+        g.add_operator(CameraSource("S1"))
+        g.add_operator(MotionDetector("H", cost_s=c.motion_detect))
+        g.add_operator(Dispatcher("D", cost_s=c.dispatch))
+        for i in range(p.n_counters):
+            g.add_operator(FaceCounter(f"C{i}", cost_s=c.count_faces))
+        g.add_operator(BoardingPredictor("B", cost_s=c.predict))
+        g.add_operator(JoinOperator("J", cost_s=c.join))
+        g.add_operator(CapacityPredictor("P", cost_s=c.predict))
+        g.add_operator(StopSink("K"))
+
+        g.chain("S0", "N")
+        g.connect("N", "A")
+        g.connect("N", "L")
+        g.chain("S1", "H", "D")
+        for i in range(p.n_counters):
+            g.chain("D", f"C{i}", "B")
+        g.connect("A", "J")
+        g.connect("L", "J")
+        g.connect("B", "J")
+        g.chain("J", "P", "K")
+        return g
+
+    # -- placement ("operators with the same color are on the same node") ----
+    def build_placement(self, phone_ids: List[str]) -> Placement:
+        p = self.params
+        groups = [["S0", "N"], ["S1", "H", "D"]]
+        groups += [[f"C{i}"] for i in range(p.n_counters)]
+        groups += [["A", "L", "B", "J"], ["P", "K"]]
+        return Placement.pack_groups(groups, phone_ids)
+
+    def compute_phones_needed(self) -> int:
+        return self.params.n_counters + 4
+
+    # -- workloads -------------------------------------------------------------
+    def build_workloads(self, rng: "RngRegistry", region_index: int) -> Dict[str, Iterable]:
+        workloads: Dict[str, Iterable] = {
+            "S1": self._camera(rng, region_index),
+        }
+        if region_index == 0:
+            # The first stop has no upstream region; a bus-departure feed
+            # plays the role of the previous stop's output.
+            workloads["S0"] = self._bus_feed(rng)
+        return workloads
+
+    def _camera(self, rng: "RngRegistry", region_index: int):
+        p = self.params
+        gen = rng.stream(f"bcp.camera.{region_index}")
+        for i in range(p.n_frames):
+            wait = float(gen.exponential(p.camera_period_s))
+            n_people = int(gen.poisson(p.crowd_mean))
+            spec = FrameSpec(
+                seed=int(gen.integers(0, 2**31)),
+                n_targets=n_people,
+                encoded_size=p.frame_size,
+            )
+            payload = {
+                "frame": spec,
+                "transient": bool(gen.random() < p.transient_prob),
+                "truth_waiting": n_people,
+            }
+            yield (wait, payload, p.frame_size)
+
+    def _bus_feed(self, rng: "RngRegistry"):
+        """Bus state as it leaves the (virtual) previous stop."""
+        gen = rng.stream("bcp.bus")
+        stop_seq = 0
+        while True:
+            wait = float(gen.uniform(90.0, 180.0))
+            payload = {
+                "on_bus": float(gen.integers(5, 45)),
+                "travel_s": float(gen.uniform(60.0, 240.0)),
+                "stop_seq": stop_seq,
+            }
+            stop_seq += 1
+            yield (wait, payload, 2 * KB)

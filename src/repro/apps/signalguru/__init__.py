@@ -1,0 +1,7 @@
+"""SignalGuru — the paper's second driving application (Fig. 3)."""
+
+from repro.apps.signalguru.app import SignalGuruApp, SignalGuruParams
+from repro.apps.signalguru.signal_model import TrafficSignal
+from repro.apps.signalguru.svm import LinearSVM
+
+__all__ = ["LinearSVM", "SignalGuruApp", "SignalGuruParams", "TrafficSignal"]

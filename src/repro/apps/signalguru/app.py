@@ -1,0 +1,149 @@
+"""The SignalGuru application assembly: graph, placement, workloads (Fig. 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.apps.signalguru.operators import (
+    CameraSource,
+    ColorFilter,
+    GroupOperator,
+    IntersectionSink,
+    IntersectionSource,
+    MotionFilter,
+    ShapeFilter,
+    SVMPredictor,
+    VotingFilter,
+)
+from repro.apps.signalguru.signal_model import TrafficSignal
+from repro.apps.vision import FrameSpec
+from repro.core.app import AppSpec
+from repro.core.graph import QueryGraph
+from repro.core.placement import Placement
+from repro.util.units import KB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class SignalGuruParams:
+    """Workload/cost calibration.
+
+    Defaults target Table I: frames at ≈0.83/s across the three filter
+    chains whose aggregate color-stage capacity is ≈0.87 frames/s —
+    lightly saturated like BCP, with smaller frames (dash-cam crops).
+    """
+
+    #: Mean inter-frame interval across all contributing phones.
+    camera_period_s: float = 1.05
+    #: Encoded frame size.
+    frame_size: int = 110 * KB
+    #: Number of parallel filter chains (paper: 3).
+    n_chains: int = 3
+    #: Probability a frame misses the signal entirely (occlusion).
+    occlusion_prob: float = 0.1
+    #: The signal being observed.
+    signal: TrafficSignal = None  # type: ignore[assignment]
+    #: Per-stage reference CPU costs.
+    color_cost: float = 1.6
+    shape_cost: float = 0.7
+    motion_cost: float = 0.4
+    n_frames: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.signal is None:
+            self.signal = TrafficSignal()
+        if self.camera_period_s <= 0:
+            raise ValueError("camera period must be positive")
+        if self.n_chains < 1:
+            raise ValueError("need at least one chain")
+
+
+class SignalGuruApp(AppSpec):
+    """SignalGuru as an :class:`~repro.core.app.AppSpec`."""
+
+    name = "signalguru"
+
+    def __init__(self, params: SignalGuruParams | None = None) -> None:
+        self.params = params or SignalGuruParams()
+
+    # -- graph (Fig. 3) -------------------------------------------------------
+    def build_graph(self) -> QueryGraph:
+        p = self.params
+        g = QueryGraph()
+        g.add_operator(IntersectionSource("S0"))
+        g.add_operator(CameraSource("S1"))
+        for i in range(p.n_chains):
+            g.add_operator(ColorFilter(f"C{i}", cost_s=p.color_cost))
+            g.add_operator(ShapeFilter(f"A{i}", cost_s=p.shape_cost))
+            g.add_operator(MotionFilter(f"M{i}", cost_s=p.motion_cost))
+        g.add_operator(VotingFilter("V"))
+        g.add_operator(GroupOperator("G"))
+        g.add_operator(SVMPredictor("P", cycle_s=p.signal.cycle_s))
+        g.add_operator(IntersectionSink("K"))
+
+        for i in range(p.n_chains):
+            g.chain("S1", f"C{i}", f"A{i}", f"M{i}", "V")
+        g.connect("S0", "G")
+        g.chain("V", "G", "P", "K")
+        return g
+
+    # -- placement ----------------------------------------------------------
+    def build_placement(self, phone_ids: List[str]) -> Placement:
+        p = self.params
+        groups = [["S0"], ["S1"]]
+        groups += [[f"C{i}", f"A{i}", f"M{i}"] for i in range(p.n_chains)]
+        groups += [["V"], ["G", "P"], ["K"]]
+        return Placement.pack_groups(groups, phone_ids)
+
+    def compute_phones_needed(self) -> int:
+        return self.params.n_chains + 5
+
+    # -- workloads -------------------------------------------------------------
+    def build_workloads(self, rng: "RngRegistry", region_index: int) -> Dict[str, Iterable]:
+        workloads: Dict[str, Iterable] = {"S1": self._camera(rng, region_index)}
+        if region_index == 0:
+            workloads["S0"] = self._upstream_feed(rng)
+        return workloads
+
+    def _camera(self, rng: "RngRegistry", region_index: int):
+        p = self.params
+        gen = rng.stream(f"sg.camera.{region_index}")
+        t = 0.0
+        for i in range(p.n_frames):
+            wait = float(gen.exponential(p.camera_period_s))
+            t += wait
+            phase, elapsed, tta = p.signal.phase_at(t)
+            occluded = bool(gen.random() < p.occlusion_prob)
+            spec = FrameSpec(
+                seed=int(gen.integers(0, 2**31)),
+                n_targets=0 if occluded else 1,
+                encoded_size=p.frame_size,
+            )
+            payload = {
+                "frame": spec,
+                "true_color": phase,
+                "true_tta": tta,
+                "capture_time": t,
+                "position": (60.0 + float(gen.normal(0, 2)), 80.0 + float(gen.normal(0, 2))),
+            }
+            yield (wait, payload, p.frame_size)
+
+    def _upstream_feed(self, rng: "RngRegistry"):
+        """Transition times broadcast by the previous intersection."""
+        p = self.params
+        gen = rng.stream("sg.upstream")
+        t = 0.0
+        while True:
+            wait = float(gen.uniform(20.0, 50.0))
+            t += wait
+            phase, elapsed, tta = p.signal.phase_at(t)
+            payload = {
+                "voted_color": phase,
+                "capture_time": t,
+                "true_tta": tta,
+                "upstream": True,
+            }
+            yield (wait, payload, KB)

@@ -1,0 +1,338 @@
+"""SignalGuru's operators (Fig. 3).
+
+S0: data from previous intersection     S1: smartphone camera frames
+C0..C2: color filters                   A0..A2: shape filters
+M0..M2: motion filters                  V: voting filter
+G: group                                P: SVM prediction
+K: sink (to next intersection)
+
+The three C->A->M chains run in parallel on different phones; S1 spreads
+frames across them round-robin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.signalguru.svm import LinearSVM
+from repro.apps.vision import FrameSpec, circularity, detect_blobs, render_color
+from repro.core.operator import Operator, OperatorContext, SinkOperator, SourceOperator
+from repro.core.tuples import StreamTuple
+from repro.util.units import KB
+
+#: Feature layout for the SVM: one-hot phase (3) + elapsed + cycle pos.
+SVM_FEATURES = 5
+
+
+def signal_features(phase: str, elapsed: float, cycle_s: float) -> np.ndarray:
+    """Feature vector for the transition predictor."""
+    onehot = {"red": (1.0, 0.0, 0.0), "green": (0.0, 1.0, 0.0), "yellow": (0.0, 0.0, 1.0)}
+    a, b, c = onehot[phase]
+    return np.array([a, b, c, elapsed / max(1.0, cycle_s), elapsed], dtype=np.float64)
+
+
+class CameraSource(SourceOperator):
+    """S1: windshield frames, spread round-robin across the filter chains."""
+
+    def __init__(self, name: str = "S1") -> None:
+        super().__init__(name)
+
+    def route(self, out: StreamTuple, downstream: List[str]) -> List[str]:
+        if not downstream:
+            return []
+        return [downstream[out.source_seq % len(downstream)]]
+
+
+class IntersectionSource(SourceOperator):
+    """S0: transition predictions from the previous intersection."""
+
+    def __init__(self, name: str = "S0") -> None:
+        super().__init__(name)
+
+
+class ColorFilter(Operator):
+    """C_i: find signal-colored bright regions in the frame.
+
+    Renders the synthetic frame and thresholds the dominant channel —
+    SignalGuru's "color (red, yellow or green) filtering".
+    """
+
+    def __init__(self, name: str, cost_s: float = 1.6) -> None:
+        super().__init__(name)
+        self._cost = cost_s
+
+    def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
+        data = tup.payload
+        spec: FrameSpec = data["frame"]
+        color: str = data["true_color"]
+        img = render_color(spec, color)
+        # Dominant-channel detection: which hue shows lit blobs?
+        scores = {
+            "red": float(img[..., 0].max() - img[..., 1].max()),
+            "green": float(img[..., 1].max() - img[..., 0].max()),
+        }
+        yellowness = float(min(img[..., 0].max(), img[..., 1].max()))
+        if yellowness > 0.6:
+            detected = "yellow"
+        elif scores["red"] > 0.2:
+            detected = "red"
+        elif scores["green"] > 0.2:
+            detected = "green"
+        else:
+            return []  # no signal visible in this frame
+        out = dict(data)
+        out["detected_color"] = detected
+        return [tup.derive(out, 24 * KB)]
+
+    def cost(self, tup: StreamTuple) -> float:
+        return self._cost
+
+
+class ShapeFilter(Operator):
+    """A_i: keep only circular (or arrow) candidates — Fig. 3's shape stage."""
+
+    def __init__(self, name: str, cost_s: float = 0.7, min_circularity: float = 0.25) -> None:
+        super().__init__(name)
+        self._cost = cost_s
+        self.min_circularity = min_circularity
+
+    def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
+        data = tup.payload
+        spec: FrameSpec = data["frame"]
+        img = render_color(spec, data["true_color"]).max(axis=-1)
+        blobs = detect_blobs(img)
+        if not blobs:
+            return []
+        cy, cx = blobs[0]
+        half = 6
+        patch = img[max(0, cy - half):cy + half, max(0, cx - half):cx + half]
+        circ = circularity(patch)
+        if circ < self.min_circularity:
+            return []
+        out = dict(data)
+        out["circularity"] = circ
+        return [tup.derive(out, 8 * KB)]
+
+    def cost(self, tup: StreamTuple) -> float:
+        return self._cost
+
+
+class MotionFilter(Operator):
+    """M_i: reject moving detections — "traffic lights are always fixed".
+
+    Stateful: remembers the last detection position per chain and drops
+    candidates that jumped (reflections, other cars' lights).
+    """
+
+    def __init__(self, name: str, cost_s: float = 0.4, max_jump: float = 25.0,
+                 state_size: int = 256 * KB) -> None:
+        super().__init__(name)
+        self._cost = cost_s
+        self.max_jump = max_jump
+        self._state_size = state_size
+        self.last_pos: Optional[tuple] = None
+
+    def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
+        data = dict(tup.payload)
+        pos = data.get("position", (0.0, 0.0))
+        if self.last_pos is not None:
+            dy = pos[0] - self.last_pos[0]
+            dx = pos[1] - self.last_pos[1]
+            if (dy * dy + dx * dx) ** 0.5 > self.max_jump:
+                self.last_pos = pos
+                return []
+        self.last_pos = pos
+        return [tup.derive(data, 4 * KB)]
+
+    def cost(self, tup: StreamTuple) -> float:
+        return self._cost
+
+    def state_size(self) -> int:
+        return self._state_size
+
+    def snapshot(self) -> Any:
+        return {"last_pos": self.last_pos}
+
+    def restore(self, state: Any) -> None:
+        self.last_pos = state["last_pos"] if state else None
+
+
+class VotingFilter(Operator):
+    """V: majority vote over the recent window of per-frame detections.
+
+    Collaborative sensing: frames from many phones disagree; the vote
+    smooths misdetections before the learner sees them.
+    """
+
+    def __init__(self, name: str = "V", window: int = 5, cost_s: float = 0.1,
+                 state_size: int = 512 * KB) -> None:
+        super().__init__(name)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._cost = cost_s
+        self._state_size = state_size
+        self.recent: List[str] = []
+
+    def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
+        data = dict(tup.payload)
+        self.recent.append(data["detected_color"])
+        if len(self.recent) > self.window:
+            self.recent.pop(0)
+        winner = max(set(self.recent), key=self.recent.count)
+        if winner != data["detected_color"]:
+            return []  # outvoted: discard this detection
+        data["voted_color"] = winner
+        return [tup.derive(data, 2 * KB)]
+
+    def cost(self, tup: StreamTuple) -> float:
+        return self._cost
+
+    def state_size(self) -> int:
+        return self._state_size
+
+    def snapshot(self) -> Any:
+        return {"recent": list(self.recent)}
+
+    def restore(self, state: Any) -> None:
+        self.recent = list(state["recent"]) if state else []
+
+
+class GroupOperator(Operator):
+    """G: group observations into phase intervals for the learner.
+
+    Accumulates (color, capture time) pairs; when the color flips, emits
+    one grouped observation of the finished phase with its measured
+    duration — the SVM's training example.
+    """
+
+    def __init__(self, name: str = "G", cost_s: float = 0.1,
+                 state_size: int = 1024 * KB) -> None:
+        super().__init__(name)
+        self._cost = cost_s
+        self._state_size = state_size
+        self.current_color: Optional[str] = None
+        self.phase_start: float = 0.0
+
+    def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
+        data = dict(tup.payload)
+        color = data.get("voted_color") or data.get("phase")
+        if color is None:
+            return []  # upstream-region advisories without an observation
+        data["voted_color"] = color
+        t = data.get("capture_time", ctx.now)
+        outputs: List[StreamTuple] = []
+        if self.current_color is None:
+            self.current_color = color
+            self.phase_start = t
+        elif color != self.current_color:
+            duration = max(0.0, t - self.phase_start)
+            grouped = {
+                "phase": self.current_color,
+                "duration": duration,
+                "next_color": color,
+                "capture_time": t,
+                "true_tta": data.get("true_tta"),
+            }
+            outputs.append(tup.derive(grouped, 2 * KB))
+            self.current_color = color
+            self.phase_start = t
+        # Local camera observations also flow to the predictor for
+        # inference; upstream-region advisories only update the grouping
+        # state (otherwise each region would compound the previous
+        # region's output rate onto its own).
+        if "detected_color" in data:
+            data["phase_elapsed"] = t - self.phase_start
+            outputs.append(tup.derive(data, 2 * KB))
+        return outputs
+
+    def cost(self, tup: StreamTuple) -> float:
+        return self._cost
+
+    def state_size(self) -> int:
+        return self._state_size
+
+    def snapshot(self) -> Any:
+        return {"current_color": self.current_color, "phase_start": self.phase_start}
+
+    def restore(self, state: Any) -> None:
+        if state:
+            self.current_color = state["current_color"]
+            self.phase_start = state["phase_start"]
+        else:
+            self.current_color = None
+            self.phase_start = 0.0
+
+
+class SVMPredictor(Operator):
+    """P: online SVM predicting whether the signal flips within the horizon.
+
+    Binary formulation (flips within ``horizon_s``: yes/no), trained
+    online from grouped observations; the decision margin doubles as a
+    soft time-to-transition score sent downstream.
+    """
+
+    def __init__(self, name: str = "P", horizon_s: float = 10.0, cost_s: float = 0.5,
+                 state_size: int = 2048 * KB, cycle_s: float = 79.0) -> None:
+        super().__init__(name)
+        self.horizon_s = horizon_s
+        self._cost = cost_s
+        self._state_size = state_size
+        self.cycle_s = cycle_s
+        self.svm = LinearSVM(SVM_FEATURES, lam=1e-2, seed=7)
+        self.trained = 0
+
+    def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
+        data = dict(tup.payload)
+        if "duration" in data:  # a grouped observation: a training example
+            phase = data["phase"]
+            # The phase lasted `duration`; at elapsed e the true
+            # time-to-transition was duration - e.  Generate two training
+            # points per group (one each side of the horizon).
+            for elapsed in (max(0.0, data["duration"] - self.horizon_s / 2),
+                            max(0.0, data["duration"] - 2 * self.horizon_s)):
+                tta = data["duration"] - elapsed
+                label = 1.0 if tta <= self.horizon_s else -1.0
+                self.svm.partial_fit(signal_features(phase, elapsed, self.cycle_s), label)
+                self.trained += 1
+            return []
+        phase = data.get("voted_color")
+        elapsed = float(data.get("phase_elapsed", 0.0))
+        if phase is None:
+            return []
+        feats = signal_features(phase, elapsed, self.cycle_s)
+        margin = self.svm.decision(feats)
+        out = {
+            "phase": phase,
+            "flips_soon": margin >= 0,
+            "margin": margin,
+            "true_tta": data.get("true_tta"),
+            "capture_time": data.get("capture_time"),
+        }
+        return [tup.derive(out, KB)]
+
+    def cost(self, tup: StreamTuple) -> float:
+        return self._cost
+
+    def state_size(self) -> int:
+        return self._state_size
+
+    def snapshot(self) -> Any:
+        return {"svm": self.svm.snapshot(), "trained": self.trained}
+
+    def restore(self, state: Any) -> None:
+        if state:
+            self.svm.restore(state["svm"])
+            self.trained = int(state["trained"])
+        else:
+            self.svm.restore(None)
+            self.trained = 0
+
+
+class IntersectionSink(SinkOperator):
+    """K: publishes advisories and feeds the next intersection."""
+
+    def __init__(self, name: str = "K") -> None:
+        super().__init__(name)

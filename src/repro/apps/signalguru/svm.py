@@ -1,0 +1,108 @@
+"""A from-scratch linear SVM (Pegasos) for SignalGuru's predictor.
+
+"After that, a Support Vector Machine (SVM) is used to train and predict
+the transition pattern" (Section II-B).  SignalGuru's features are small
+(phase-duration histograms, time-of-cycle encodings), so a linear SVM
+trained with the Pegasos stochastic sub-gradient method is exactly the
+right tool — tiny, online-updatable on a phone, no external deps.
+
+Shalev-Shwartz et al., "Pegasos: Primal Estimated sub-GrAdient SOlver
+for SVM", ICML 2007.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class LinearSVM:
+    """Binary linear SVM trained by Pegasos sub-gradient descent.
+
+    Labels are ±1.  ``partial_fit`` supports the streaming use in the
+    DSPS; ``fit`` runs multiple epochs for batch training.
+    """
+
+    def __init__(self, n_features: int, lam: float = 1e-3, seed: int = 0) -> None:
+        if n_features < 1:
+            raise ValueError("need at least one feature")
+        if lam <= 0:
+            raise ValueError("lambda must be positive")
+        self.n_features = n_features
+        self.lam = lam
+        self.w = np.zeros(n_features, dtype=np.float64)
+        self.bias = 0.0
+        self._t = 1
+        self._rng = np.random.default_rng(seed)
+
+    # -- training -----------------------------------------------------------
+    def partial_fit(self, x: np.ndarray, y: float) -> None:
+        """One Pegasos step on a single example (y in {-1, +1})."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_features,):
+            raise ValueError(f"expected {self.n_features} features, got {x.shape}")
+        if y not in (-1, 1, -1.0, 1.0):
+            raise ValueError("labels must be +/-1")
+        eta = 1.0 / (self.lam * self._t)
+        margin = y * (self.w @ x + self.bias)
+        self.w *= 1.0 - eta * self.lam
+        if margin < 1.0:
+            self.w += eta * y * x
+            self.bias += eta * y
+        # Project onto the ball of radius 1/sqrt(lam) (Pegasos step 3).
+        norm = np.linalg.norm(self.w)
+        bound = 1.0 / np.sqrt(self.lam)
+        if norm > bound:
+            self.w *= bound / norm
+        self._t += 1
+
+    def fit(self, X: np.ndarray, y: np.ndarray, epochs: int = 10) -> "LinearSVM":
+        """Batch training: shuffled epochs of partial_fit."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValueError("X must be (n_samples, n_features)")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        for _ in range(epochs):
+            for i in self._rng.permutation(len(X)):
+                self.partial_fit(X[i], float(y[i]))
+        return self
+
+    # -- inference -----------------------------------------------------------
+    def decision(self, x: np.ndarray) -> float:
+        """Signed distance to the separating hyperplane."""
+        return float(self.w @ np.asarray(x, dtype=np.float64) + self.bias)
+
+    def predict(self, x: np.ndarray) -> int:
+        """Class label (+1 / -1)."""
+        return 1 if self.decision(x) >= 0 else -1
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correct predictions on a labelled set."""
+        X = np.asarray(X, dtype=np.float64)
+        preds = np.where(X @ self.w + self.bias >= 0, 1, -1)
+        return float(np.mean(preds == np.asarray(y)))
+
+    # -- state ----------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Serializable model state."""
+        return {
+            "w": self.w.copy(),
+            "bias": self.bias,
+            "t": self._t,
+            "lam": self.lam,
+        }
+
+    def restore(self, state: Optional[Dict]) -> None:
+        """Reset from :meth:`snapshot` (None = fresh model)."""
+        if state is None:
+            self.w = np.zeros(self.n_features)
+            self.bias = 0.0
+            self._t = 1
+        else:
+            self.w = np.array(state["w"], dtype=np.float64)
+            self.bias = float(state["bias"])
+            self._t = int(state["t"])
+            self.lam = float(state["lam"])

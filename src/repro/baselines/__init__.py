@@ -1,0 +1,36 @@
+"""Fault-tolerance schemes: the paper's baselines and the scheme interface.
+
+Section IV-B defines the comparison set; each is implemented here as a
+strategy object plugged into a region:
+
+* ``base``  — :class:`~repro.baselines.base.NoFaultTolerance`, no FT at all.
+* ``rep-2`` — :class:`~repro.baselines.replication.ActiveStandby`,
+  k replicated dataflow chains (Flux / Borealis DPC).
+* ``local`` — :class:`~repro.baselines.local_checkpoint.LocalCheckpoint`,
+  checkpoints to local flash only; unrealistic on phones but the
+  performance upper bound.
+* ``dist-n`` — :class:`~repro.baselines.distributed_checkpoint.DistributedCheckpoint`,
+  checkpoints unicast to n other nodes (Cooperative HA / SGuard).
+* MobiStreams itself lives in :mod:`repro.checkpoint` and implements the
+  same :class:`~repro.baselines.interface.FaultToleranceScheme` interface.
+
+The server-based DSPS comparator of Table I is a different *deployment*,
+not a scheme: see :mod:`repro.baselines.server_dsps`.
+"""
+
+from repro.baselines.base import NoFaultTolerance
+from repro.baselines.distributed_checkpoint import DistributedCheckpoint
+from repro.baselines.interface import FaultToleranceScheme
+from repro.baselines.local_checkpoint import LocalCheckpoint
+from repro.baselines.replication import ActiveStandby
+from repro.baselines.server_dsps import ServerDSPS, ServerDSPSConfig
+
+__all__ = [
+    "ActiveStandby",
+    "DistributedCheckpoint",
+    "FaultToleranceScheme",
+    "LocalCheckpoint",
+    "NoFaultTolerance",
+    "ServerDSPS",
+    "ServerDSPSConfig",
+]

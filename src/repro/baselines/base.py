@@ -1,0 +1,23 @@
+"""The ``base`` system: no fault tolerance at all (Section IV-B, scheme 1).
+
+Zero overhead, zero resilience: any phone failure kills the region's
+computation.  All relative results in Fig. 8 are normalized to this
+scheme's throughput/latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.interface import FaultToleranceScheme
+from repro.core.controller import UNRECOVERABLE
+
+
+class NoFaultTolerance(FaultToleranceScheme):
+    """No preservation, no checkpoints, no recovery."""
+
+    name = "base"
+
+    def on_failure(self, failed_ids: List[str]):
+        """Any failure is fatal to the region."""
+        return UNRECOVERABLE

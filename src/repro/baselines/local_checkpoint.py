@@ -1,0 +1,69 @@
+"""``local``: checkpoint to local flash only (Section IV-B, scheme 3).
+
+"A checkpoint-based scheme that saves operators' state to the local
+storage of each node.  This scheme assumes that each node can be
+restarted after a failure and the data in its storage will not be lost
+after the restart.  It is not a realistic fault model in the context of
+smartphones, but represents an upper bound in performance for
+fault-tolerance schemes and is thus useful as a benchmark."
+
+No checkpoint bytes ever cross the network (Fig. 10b: local = 0); the
+only steady-state costs are the serialization CPU, flash writes, input
+preservation, and tiny acks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.checkpoint_common import PeriodicCheckpointScheme
+
+
+class LocalCheckpoint(PeriodicCheckpointScheme):
+    """Periodic checkpoints into each phone's own flash."""
+
+    name = "local"
+
+    def __init__(self, period_s: float = 300.0, reboot_delay_s: float = 10.0) -> None:
+        super().__init__(period_s)
+        self.reboot_delay_s = reboot_delay_s
+        #: node id -> its own checkpoint versions, oldest first.
+        self._node_versions: Dict[str, List[int]] = {}
+
+    def _store_checkpoint(self, node, version: int, snapshot: Dict, size: int):
+        """Write to the node's own flash; keep the latest two versions.
+
+        The flash write happens while the node holds its CPU — local
+        checkpointing's (small) cost in Fig. 8.  Versions are global
+        across the region, so pruning tracks each node's *own* history
+        (one node's consecutive versions are spaced by the node count).
+        """
+        yield self.sim.timeout(size * 8.0 / self.region.config.flash_write_bps)
+        storage = node.phone.storage
+        storage.write(("ckpt", version), size, payload=snapshot)
+        kept = self._node_versions.setdefault(node.id, [])
+        kept.append(version)
+        while len(kept) > 2:
+            storage.delete(("ckpt", kept.pop(0)))
+        return True
+
+    def on_failure(self, failed_ids: List[str]):
+        """Reboot each failed phone and restore it from its own flash."""
+        return self._recover(failed_ids)
+
+    def _recover(self, failed_ids: List[str]):
+        region = self.region
+        # The phone restarts (OS reboot); flash survives by assumption.
+        yield self.sim.timeout(self.reboot_delay_s)
+        restored = []
+        for pid in failed_ids:
+            region.revive_phone(pid)
+            record = self.mrc_for_phone(pid)
+            state, size = (record[1], record[2]) if record else (None, 1)
+            # Parallel restoration: each node reads from its local flash.
+            yield self.sim.timeout(size * 8.0 / region.config.flash_read_bps)
+            node = region.build_single_node(pid, state)
+            restored.append(node)
+        for node in restored:
+            yield from self._replay_into(node)
+        return "recovered"

@@ -1,0 +1,94 @@
+"""Active standby replication (``rep-2``): the Flux / Borealis baseline.
+
+Section IV-B, scheme 2: "A replication-based scheme that runs two replicas
+for each operator.  It can tolerate only single-node failures."
+
+Implementation: k *paired dataflow chains* on disjoint phone subsets
+(Flux-style).  Chain r of every operator streams to chain r of its
+downstream operators; the sensor feed is duplicated into every chain; the
+region deduplicates results at the sinks.  When a phone dies, every chain
+with an operator on that phone is dead; the system survives while at
+least one chain is intact — so k=2 tolerates exactly one failure in the
+worst case, and a second failure on the surviving chain is fatal.
+
+Costs (visible in Figs. 8 and 10):
+
+* every phone hosts k× the operators (the dataflow is squeezed onto 1/k
+  of the phones per chain) — CPU throughput drops;
+* all replica-chain traffic plus the duplicated sensor feed is extra
+  network load (``ft.network_bytes``);
+* there is no checkpointing and no input preservation at all
+  (Fig. 10a: rep-2 = 0).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Set
+
+from repro.baselines.interface import FaultToleranceScheme
+from repro.core.controller import UNRECOVERABLE
+from repro.core.region import TUPLE_ENVELOPE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import NodeRuntime
+    from repro.core.tuples import StreamTuple
+
+
+class ActiveStandby(FaultToleranceScheme):
+    """k replicated dataflow chains (default k=2, the paper's rep-2)."""
+
+    def __init__(self, k: int = 2, takeover_delay_s: float = 0.5) -> None:
+        super().__init__()
+        if k < 2:
+            raise ValueError("active standby needs k >= 2 replicas")
+        self.replication_factor = k
+        self.name = f"rep-{k}"
+        self.takeover_delay_s = takeover_delay_s
+        self.dead_chains: Set[int] = set()
+
+    # -- routing liveness ---------------------------------------------------
+    def chain_active(self, chain: int) -> bool:
+        return chain not in self.dead_chains
+
+    # -- overhead accounting ---------------------------------------------------
+    def on_emit(self, node: "NodeRuntime", from_op: str, to_op: str,
+                tup: "StreamTuple", remote: bool) -> None:
+        if remote and node.op_chain.get(from_op, 0) > 0:
+            # Replica-chain traffic is replication overhead.
+            self.count_ft_network(tup.size + TUPLE_ENVELOPE)
+
+    def on_source_copy(self, node: "NodeRuntime", op_name: str, tup: "StreamTuple") -> None:
+        self.count_ft_network(tup.size + TUPLE_ENVELOPE)
+
+    # -- failures -----------------------------------------------------------
+    def _chains_hit(self, gone: List[str]) -> Set[int]:
+        hit: Set[int] = set()
+        gone_set = set(gone)
+        placement = self.region.placement
+        for op in placement.operators():
+            for r, nid in enumerate(placement.nodes_for(op)):
+                if nid in gone_set:
+                    hit.add(r)
+        return hit
+
+    def on_failure(self, failed_ids: List[str]):
+        hit = self._chains_hit(failed_ids)
+        self.dead_chains |= hit
+        alive = [r for r in range(self.replication_factor) if r not in self.dead_chains]
+        self.trace.record(
+            self.sim.now, "rep_chain_lost", region=self.region.name,
+            dead=sorted(self.dead_chains), alive=alive,
+        )
+        if not alive:
+            return UNRECOVERABLE
+        return self._takeover()
+
+    def _takeover(self):
+        """The surviving replica takes over "immediately" (Section IV-B)."""
+        yield self.sim.timeout(self.takeover_delay_s)
+        return "took-over"
+
+    def on_departure(self, phone_id: str):
+        """Replication-based schemes "cannot handle node departures"; a
+        departed phone is simply a lost replica."""
+        return self.on_failure([phone_id])

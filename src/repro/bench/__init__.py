@@ -1,0 +1,16 @@
+"""Benchmark harness: regenerates every table and figure of Section IV.
+
+One module per artifact:
+
+* :mod:`repro.bench.table1` — MobiStreams vs server-based DSPS.
+* :mod:`repro.bench.fig8`   — steady-state FT overhead of all schemes.
+* :mod:`repro.bench.fig9`   — n simultaneous failures/departures.
+* :mod:`repro.bench.fig10`  — preservation + checkpoint data volumes.
+
+``python -m repro.bench.run_all`` prints every artifact (paper values
+alongside measured ones) — the source of EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import ExperimentConfig, run_experiment, scheme_factories
+
+__all__ = ["ExperimentConfig", "run_experiment", "scheme_factories"]

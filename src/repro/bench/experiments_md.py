@@ -1,0 +1,245 @@
+"""Generate EXPERIMENTS.md: paper-vs-measured for every table and figure.
+
+Run (takes a few minutes)::
+
+    python -m repro.bench.experiments_md [--out EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.bench import ablation, fig9, fig10, table1
+from repro.bench.fig8 import PAPER_LATENCY, SCHEME_ORDER, relative, run_fig8
+from repro.bench.fig10 import PAPER_CKPT_NETWORK, PAPER_PRESERVATION
+from repro.util.units import MB
+
+DURATION = 1200.0
+FAULT_DURATION = 900.0
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def table1_section() -> str:
+    parts = ["## Table I — MobiStreams vs server-based DSPS",
+             "",
+             "Paper setup: 8 iPhone 3GSs per region, ad-hoc WiFi 1–5 Mbps, 3G "
+             "uplink 0.016–0.32 Mbps.  Ours: the simulated substrate with the "
+             "same parameters (see DESIGN.md §2)."]
+    for app in ("bcp", "signalguru"):
+        res = table1.run_table1(app, duration_s=FAULT_DURATION)
+        paper = table1.PAPER[app]
+        (tlo, thi), (llo, lhi) = res["server"]
+        (ptl, pth), (pll, plh) = paper["server"]
+        rows = [
+            ["server-based DSPS",
+             f"{ptl}–{pth}", f"{tlo:.3f}–{thi:.3f}",
+             f"{pll}–{plh}", f"{llo:.0f}–{lhi:.0f}"],
+        ]
+        for key, label in (("ms_ft_off", "MobiStreams, FT off"),
+                           ("ms_departures", "MobiStreams + departures"),
+                           ("ms_failures", "MobiStreams + failures")):
+            tput, lat = res[key]
+            p_t, p_l = paper[key]
+            rows.append([label, f"{p_t}", f"{tput:.3f}", f"{p_l}", f"{lat:.1f}"])
+        parts += ["", f"### {app}", "",
+                  _md_table(["row", "tput paper (t/s)", "tput measured",
+                             "latency paper (s)", "latency measured"], rows)]
+    parts += ["",
+              "**Shape check.** The server rows are uplink-bound: orders of "
+              "magnitude below MobiStreams in throughput with minute-scale "
+              "latencies, matching the paper's 0.78–42.6× throughput and "
+              "10–94.8% latency headline.  Recurring departures cost little "
+              "(a state transfer, no rollback), exactly as in the paper.  "
+              "Recurring failures cost more here than the paper's 0.48/0.54 "
+              "ratio: our simulated pipelines run much closer to CPU "
+              "saturation than the authors' testbed, so each catch-up replays "
+              "a full period of preserved input with little headroom — the "
+              "ordering (FT-off > departures > failures) still holds."]
+    return "\n".join(parts)
+
+
+def fig8_section() -> str:
+    parts = ["## Fig. 8 — steady-state overhead of the FT schemes",
+             "",
+             "No faults injected; values normalized to `base` (no FT). The "
+             "paper's throughput bars are OCR-ambiguous in our source, so we "
+             "target the ordering `local ≳ ms-8 > dist-1 > dist-2 > dist-3 ≥ "
+             "rep-2` plus the latency bars, and the headline: ms-8 vs "
+             "{rep-2, dist-n} ≈ +230% throughput / −40% latency."]
+    headline = {}
+    for app in ("bcp", "signalguru"):
+        outcomes = run_fig8(app, duration_s=DURATION)
+        rel = relative(outcomes)
+        rows = []
+        for label in SCHEME_ORDER:
+            rows.append([
+                label,
+                f"{rel[label]['throughput'] * 100:.0f}%",
+                f"{PAPER_LATENCY[app][label]:.2f}x",
+                f"{rel[label]['latency']:.2f}x",
+            ])
+        headline[app] = rel
+        parts += ["", f"### {app}", "",
+                  _md_table(["scheme", "rel tput (measured)",
+                             "rel latency (paper)", "rel latency (measured)"],
+                            rows)]
+    # Headline averages (ms vs rep-2/dist-n).
+    gains, lats = [], []
+    for app, rel in headline.items():
+        for other in ("rep-2", "dist-1", "dist-2", "dist-3"):
+            if rel[other]["throughput"] > 0:
+                gains.append(rel["ms-8"]["throughput"] / rel[other]["throughput"] - 1)
+            lats.append(1 - rel["ms-8"]["latency"] / rel[other]["latency"])
+    parts += ["",
+              f"**Headline (measured).** ms-8 vs prior schemes: "
+              f"{100 * sum(gains) / len(gains):+.0f}% throughput, "
+              f"{-100 * sum(lats) / len(lats):+.0f}% latency "
+              f"(paper: +230% / −40%)."]
+    return "\n".join(parts)
+
+
+def fig9_section() -> str:
+    parts = ["## Fig. 9 — n simultaneous failures/departures per period",
+             "",
+             "n phones crash (or depart) at once mid-period; curves are "
+             "normalized to each scheme's own n=0 point. Paper findings to "
+             "reproduce: (1) ms-8's failure curve is ~flat — recovery cost "
+             "does not grow with n; (2) dist-n's curve stops at n and rep-2's "
+             "at 1; (3) departures cost less than failures until many "
+             "simultaneous departures contend on the cellular uplink."]
+    for app in ("bcp", "signalguru"):
+        curves = fig9.run_fig9(app, duration_s=FAULT_DURATION, max_n=8)
+        rows = []
+        for name, series in curves.items():
+            pts = []
+            for n, rt, rl, ok in series:
+                pts.append(f"{rt:.2f}" if ok else "✗")
+            rows.append([name, str(len(series) - 1),
+                         " ".join(pts)])
+        parts += ["", f"### {app}", "",
+                  _md_table(["curve", "max n", "rel tput at n=0..max"], rows)]
+    return "\n".join(parts)
+
+
+def fig10_section() -> str:
+    parts = ["## Fig. 10 — fault-tolerance data volumes (relative to ms-8)",
+             "",
+             "(a) bytes retained for input/source preservation; (b) bytes "
+             "sent over the network for checkpointing/replication."]
+    for app in ("bcp", "signalguru"):
+        rel = fig10.run_fig10(app, duration_s=DURATION)
+        rows = []
+        for label in SCHEME_ORDER:
+            rows.append([
+                label,
+                f"{PAPER_PRESERVATION[app][label]:.2f}",
+                f"{rel[label]['preservation']:.2f}",
+                f"{PAPER_CKPT_NETWORK[app][label]:.2f}",
+                f"{rel[label]['ckpt_network']:.2f}",
+            ])
+        parts += ["", f"### {app}", "",
+                  _md_table(["scheme", "10a paper", "10a measured",
+                             "10b paper", "10b measured"], rows)]
+    parts += ["",
+              "**Shape check.** base/rep-2 preserve nothing; the uncoordinated "
+              "checkpoint schemes retain several× MobiStreams' source-only "
+              "preservation; rep-2's duplicated dataflow dominates 10b; "
+              "dist-n's network cost grows ~linearly in n around the ms-8 "
+              "broadcast's cost."]
+    return "\n".join(parts)
+
+
+def ablation_section() -> str:
+    parts = ["## Ablations (beyond the paper)",
+             "",
+             "Design choices the paper asserts, quantified on the simulated "
+             "substrate (`repro.bench.ablation`, `benchmarks/bench_ablation.py`):",
+             ""]
+    rows = ablation.broadcast_vs_unicast()
+    parts += ["### Broadcast vs unicast distribution", "",
+              _md_table(["receivers", "broadcast MB", "unicast MB", "ratio"],
+                        [[r["n_receivers"], f"{r['broadcast_bytes'] / MB:.2f}",
+                          f"{r['unicast_bytes'] / MB:.2f}", f"{r['ratio']:.2f}x"]
+                         for r in rows]), ""]
+    rows = ablation.sweep_stopping_rule()
+    parts += ["### UDP stopping rule", "",
+              _md_table(["rule", "rounds", "total MB", "duration s"],
+                        [[r["rule"], r["udp_rounds"],
+                          f"{r['total_bytes'] / MB:.2f}",
+                          f"{r['duration_s']:.1f}"] for r in rows]), ""]
+    rows = ablation.sweep_block_size()
+    parts += ["### UDP block size", "",
+              _md_table(["block B", "overhead", "duration s"],
+                        [[r["block_size"], f"{r['overhead']:.2f}x",
+                          f"{r['duration_s']:.1f}"] for r in rows]), ""]
+    rows = ablation.sweep_loss()
+    parts += ["### Loss-rate sensitivity", "",
+              _md_table(["loss", "rounds", "overhead"],
+                        [[f"{r['loss']:.2f}", r["udp_rounds"],
+                          f"{r['overhead']:.2f}x"] for r in rows]), ""]
+    rows = ablation.sweep_burstiness()
+    parts += ["### Loss burstiness (Gilbert-Elliott, 8% mean loss)", "",
+              _md_table(["mean burst", "rounds", "overhead"],
+                        [[f"{r['mean_burst']:.0f}", r["udp_rounds"],
+                          f"{r['overhead']:.2f}x"] for r in rows]), ""]
+    rows = ablation.sweep_checkpoint_period(duration_s=1800.0, crash_at=1200.0)
+    parts += ["### Checkpoint period", "",
+              _md_table(["period s", "tput t/s", "latency s", "ckpt-net MB"],
+                        [[f"{r['period_s']:.0f}", f"{r['throughput']:.3f}",
+                          f"{r['latency_s']:.1f}",
+                          f"{r['ft_network_bytes'] / MB:.1f}"] for r in rows])]
+    return "\n".join(parts)
+
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Every table and figure of Wang & Peh, *MobiStreams* (IPDPS 2014),
+regenerated on this repository's simulated substrate.  Absolute numbers
+are not expected to match the authors' 32-iPhone testbed (see DESIGN.md
+§2 and §4); the *shape* — who wins, rough factors, crossovers, which
+schemes fail to recover — is the reproduction target.
+
+Regenerate any section with the matching bench::
+
+    pytest benchmarks/bench_table1.py --benchmark-only -s
+    pytest benchmarks/bench_fig8.py   --benchmark-only -s
+    pytest benchmarks/bench_fig9.py   --benchmark-only -s
+    pytest benchmarks/bench_fig10.py  --benchmark-only -s
+    pytest benchmarks/bench_ablation.py --benchmark-only -s
+
+or everything at once with ``python -m repro.bench.run_all``.  This file
+itself is generated by ``python -m repro.bench.experiments_md``.
+"""
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    sections = [HEADER]
+    for name, fn in (("Table I", table1_section), ("Fig. 8", fig8_section),
+                     ("Fig. 9", fig9_section), ("Fig. 10", fig10_section),
+                     ("Ablations", ablation_section)):
+        t0 = time.time()
+        print(f"[experiments_md] running {name}...", flush=True)
+        sections.append(fn())
+        print(f"[experiments_md] {name} done in {time.time() - t0:.0f}s",
+              flush=True)
+    with open(args.out, "w") as f:
+        f.write("\n\n".join(sections) + "\n")
+    print(f"[experiments_md] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

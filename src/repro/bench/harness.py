@@ -1,0 +1,136 @@
+"""Shared experiment runner for all benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.apps import BCPApp, SignalGuruApp
+from repro.baselines import (
+    ActiveStandby,
+    DistributedCheckpoint,
+    LocalCheckpoint,
+    NoFaultTolerance,
+)
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.metrics import MetricsReport
+from repro.core.system import MobiStreamsSystem, SystemConfig
+
+
+def scheme_factories(checkpoint_period_s: float = 300.0) -> Dict[str, Callable]:
+    """The Section IV-B comparison set, keyed by figure label.
+
+    ``checkpoint_period_s`` drives the periodic baselines; MobiStreams
+    takes its period from the controller's checkpoint clock instead.
+    """
+    return {
+        "base": NoFaultTolerance,
+        "rep-2": lambda: ActiveStandby(2),
+        "local": lambda: LocalCheckpoint(period_s=checkpoint_period_s),
+        "dist-1": lambda: DistributedCheckpoint(1, period_s=checkpoint_period_s),
+        "dist-2": lambda: DistributedCheckpoint(2, period_s=checkpoint_period_s),
+        "dist-3": lambda: DistributedCheckpoint(3, period_s=checkpoint_period_s),
+        "ms-8": MobiStreamsScheme,
+    }
+
+
+def app_factory(app_name: str):
+    """'bcp' or 'signalguru' -> a fresh AppSpec factory."""
+    if app_name == "bcp":
+        return BCPApp
+    if app_name == "signalguru":
+        return SignalGuruApp
+    raise ValueError(f"unknown app {app_name!r}")
+
+
+@dataclass
+class ExperimentConfig:
+    """One simulated deployment run."""
+
+    app: str = "bcp"
+    scheme: str = "base"
+    duration_s: float = 900.0
+    warmup_s: float = 150.0
+    seed: int = 3
+    n_regions: int = 1
+    phones_per_region: int = 8
+    idle_per_region: int = 2
+    checkpoint_period_s: float = 300.0
+    #: Phones crashing simultaneously: (time, [phone indices]).
+    crash: Optional[tuple] = None
+    #: Phones departing simultaneously: (time, [phone indices]).
+    depart: Optional[tuple] = None
+
+
+@dataclass
+class ExperimentOutcome:
+    """Metrics plus run context."""
+
+    config: ExperimentConfig
+    report: MetricsReport
+    region_stopped: bool
+    recoveries: int
+
+    @property
+    def throughput(self) -> float:
+        """First-region steady throughput (tuples/s)."""
+        return self.report.per_region["region0"].throughput_tps
+
+    @property
+    def latency(self) -> float:
+        """First-region mean latency (s)."""
+        return self.report.per_region["region0"].mean_latency_s
+
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentOutcome:
+    """Build, run, and measure one deployment."""
+    sys_cfg = SystemConfig(
+        n_regions=cfg.n_regions,
+        phones_per_region=cfg.phones_per_region,
+        idle_per_region=cfg.idle_per_region,
+        master_seed=cfg.seed,
+        checkpoint_period_s=cfg.checkpoint_period_s,
+    )
+    system = MobiStreamsSystem(
+        sys_cfg,
+        app_factory(cfg.app)(),
+        scheme_factories(cfg.checkpoint_period_s)[cfg.scheme],
+    )
+    system.start()
+    if cfg.crash is not None:
+        t, idxs = cfg.crash
+        system.injector.crash_at(t, [f"region0.p{i}" for i in idxs])
+    if cfg.depart is not None:
+        t, idxs = cfg.depart
+        for i in idxs:
+            system.sim.call_at(t, lambda i=i: system.apply_departure(f"region0.p{i}"))
+    system.run(cfg.duration_s)
+    report = system.metrics(warmup_s=cfg.warmup_s)
+    return ExperimentOutcome(
+        config=cfg,
+        report=report,
+        region_stopped=system.regions[0].stopped,
+        recoveries=report.recoveries,
+    )
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence], title: str = "") -> str:
+    """Plain-text table (paper-vs-measured reports)."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            cols[i].append(cell if isinstance(cell, str) else f"{cell}")
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        cells = [
+            (cell if isinstance(cell, str) else str(cell)).ljust(w)
+            for cell, w in zip(row, widths)
+        ]
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

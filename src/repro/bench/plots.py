@@ -1,0 +1,168 @@
+"""Text rendering of the paper's figures (bars and curves).
+
+The evaluation artifacts are *figures*, not just numbers; these
+renderers draw them as Unicode charts so ``run_all`` and the examples
+can show the measured shape next to the paper's:
+
+* :func:`bar_chart` — horizontal bars (Fig. 8 / Fig. 10 style).
+* :func:`line_chart` — multi-series curves over an integer x-axis
+  (Fig. 9 style), one glyph per series, ``✗`` marking dead points.
+
+Pure functions over plain data; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+FULL = "█"
+PARTIALS = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """A left-aligned bar of ``value``/``vmax`` scaled to ``width`` cells."""
+    if vmax <= 0 or value <= 0:
+        return ""
+    cells = value / vmax * width
+    whole = int(cells)
+    frac = cells - whole
+    bar = FULL * whole
+    partial_idx = int(frac * 8)
+    if partial_idx > 0:
+        bar += PARTIALS[partial_idx]
+    return bar
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart.
+
+    Parameters
+    ----------
+    items:
+        ``(label, value)`` pairs, drawn top to bottom.
+    width:
+        Bar area width in character cells.
+    unit:
+        Suffix printed after each value (e.g. ``"x"``, ``"t/s"``).
+    reference:
+        Optional value marked with ``┊`` inside each bar row (e.g. the
+        ``base = 1.0`` normalizer).
+    """
+    if not items:
+        return title
+    vmax = max(v for _l, v in items)
+    if reference is not None:
+        vmax = max(vmax, reference)
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(l) for l, _v in items)
+    lines = [title] if title else []
+    ref_cell = (int(reference / vmax * width) if reference is not None
+                else None)
+    for label, value in items:
+        bar = _bar(value, vmax, width)
+        row = list(bar.ljust(width))
+        if ref_cell is not None and 0 <= ref_cell < width and row[ref_cell] == " ":
+            row[ref_cell] = "┊"
+        lines.append(f"{label.rjust(label_w)} │{''.join(row)}│ "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+#: One distinct marker per series, cycled.
+MARKERS = "o*+x#@%&"
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[int, Optional[float]]]],
+    title: str = "",
+    height: int = 12,
+    x_label: str = "n",
+    y_label: str = "",
+) -> str:
+    """Multi-series chart over integer x values (Fig. 9 style).
+
+    ``series`` maps name -> list of ``(x, y)``; ``y = None`` marks a
+    point where the scheme failed (drawn as ``✗`` on the axis).  Every
+    series gets a marker from :data:`MARKERS`; collisions print ``▒``.
+    """
+    if not series:
+        return title
+    xs = sorted({x for pts in series.values() for x, _y in pts})
+    ys = [y for pts in series.values() for _x, y in pts if y is not None]
+    if not xs or not ys:
+        return title
+    ymax = max(ys)
+    ymin = min(0.0, min(ys))
+    span = max(1e-9, ymax - ymin)
+    x_pos = {x: i for i, x in enumerate(xs)}
+    col_w = 4
+    grid_w = col_w * len(xs)
+
+    grid = [[" "] * grid_w for _ in range(height)]
+    legend = []
+    for si, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[si % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            col = x_pos[x] * col_w + col_w // 2
+            if y is None:
+                row = height - 1
+                ch = "✗"
+            else:
+                row = height - 1 - int((y - ymin) / span * (height - 1))
+                ch = marker
+            cur = grid[row][col]
+            grid[row][col] = ch if cur == " " else ("✗" if "✗" in (cur, ch)
+                                                    else "▒")
+
+    lines = [title] if title else []
+    for ri, row in enumerate(grid):
+        yv = ymax - ri * span / max(1, height - 1)
+        axis = f"{yv:6.2f} ┤" if ri % 3 == 0 or ri == height - 1 else "       │"
+        lines.append(axis + "".join(row))
+    lines.append("       └" + "─" * grid_w)
+    ticks = "        "
+    for x in xs:
+        ticks += str(x).center(col_w)
+    lines.append(ticks + f"  ({x_label})")
+    if y_label:
+        lines.insert(1 if title else 0, f"  [{y_label}]")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def fig8_chart(rel: Dict[str, Dict[str, float]], app_name: str,
+               order: Sequence[str]) -> str:
+    """Render one app's Fig. 8 panel (throughput and latency bars)."""
+    tput = [(label, rel[label]["throughput"]) for label in order]
+    lat = [(label, rel[label]["latency"]) for label in order]
+    return "\n\n".join([
+        bar_chart(tput, title=f"Fig. 8 — {app_name}: relative throughput "
+                              "(base = 1.0)", unit="x", reference=1.0),
+        bar_chart(lat, title=f"Fig. 8 — {app_name}: relative latency "
+                             "(base = 1.0)", unit="x", reference=1.0),
+    ])
+
+
+def fig9_chart(curves: Dict[str, List[Tuple[int, float, float, bool]]],
+               app_name: str, metric: str = "throughput") -> str:
+    """Render one app's Fig. 9 panel from ``run_fig9`` output."""
+    idx = 1 if metric == "throughput" else 2
+    series: Dict[str, List[Tuple[int, Optional[float]]]] = {}
+    for name, pts in curves.items():
+        series[name] = [(p[0], p[idx] if p[3] else None) for p in pts]
+    return line_chart(
+        series,
+        title=f"Fig. 9 — {app_name}: relative {metric} vs simultaneous "
+              "faults",
+        x_label="n nodes fail/leave",
+        y_label=f"relative {metric}",
+    )

@@ -1,0 +1,75 @@
+"""Token bookkeeping for token-triggered checkpointing (Section III-B).
+
+The tracker answers one question per (node, version): *have tokens
+arrived on every upstream channel yet?*  The caller (the scheme) blocks
+channels as tokens arrive and snapshots when the tracker reports ready —
+Fig. 5's node E waiting for both C's and D's tokens.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Set, Tuple
+
+
+class TokenTracker:
+    """Per-(node, version) token arrival state."""
+
+    def __init__(self) -> None:
+        self._seen: Dict[Tuple[str, int], Set[Any]] = defaultdict(set)
+        self._done: Set[Tuple[str, int]] = set()
+        self._abandoned: Set[int] = set()
+
+    def record(self, node_id: str, version: int, channel: Any, expected: Set[Any]) -> bool:
+        """Register a token from ``channel``; True when the set is complete.
+
+        Returns True exactly once per (node, version) — the transition
+        into readiness — so the caller snapshots exactly once even if a
+        duplicate token arrives.
+        """
+        if version in self._abandoned:
+            return False
+        key = (node_id, version)
+        if key in self._done:
+            return False
+        seen = self._seen[key]
+        seen.add(channel)
+        if expected <= seen:
+            self._done.add(key)
+            del self._seen[key]
+            return True
+        return False
+
+    def waiting_channels(self, node_id: str, version: int) -> Set[Any]:
+        """Channels whose token has arrived (currently blocked)."""
+        return set(self._seen.get((node_id, version), ()))
+
+    def is_done(self, node_id: str, version: int) -> bool:
+        """Whether the node already snapshotted this version."""
+        return (node_id, version) in self._done
+
+    def reset_node(self, node_id: str) -> None:
+        """Forget all state about a node (it failed or was rebuilt)."""
+        for key in [k for k in self._seen if k[0] == node_id]:
+            del self._seen[key]
+        self._done = {k for k in self._done if k[0] != node_id}
+
+    def abandon(self, version: int) -> None:
+        """Write off an in-flight checkpoint wave (Section III-D: partial
+        checkpoint data is ignored).
+
+        A membership change mid-wave — departure, handoff, recovery —
+        can leave a node waiting for a token that will never arrive, with
+        channels blocked.  After abandonment, late tokens of ``version``
+        are ignored: they neither block channels nor trigger snapshots.
+        """
+        self._abandoned.add(version)
+        for key in [k for k in self._seen if k[1] == version]:
+            del self._seen[key]
+
+    def is_abandoned(self, version: int) -> bool:
+        """Whether ``version``'s wave was written off."""
+        return version in self._abandoned
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TokenTracker pending={len(self._seen)} done={len(self._done)}>"

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    One deployment: pick the app, the fault-tolerance scheme, optional
+    fault injections, and get a metrics report.
+``bench``
+    Regenerate a paper artifact (``table1``/``fig8``/``fig9``/``fig10``/
+    ``ablation``) — thin wrapper over :mod:`repro.bench.run_all`.
+``info``
+    List the available applications, schemes, and the paper's reference
+    numbers.
+
+Examples
+--------
+::
+
+    python -m repro run --app bcp --scheme ms-8 --duration 900 \\
+        --crash 300:3,4 --verbose
+    python -m repro bench fig8 --quick
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.bench.fig8 import PAPER_LATENCY, SCHEME_ORDER
+from repro.bench.harness import ExperimentConfig, run_experiment, scheme_factories
+from repro.bench.table1 import PAPER as TABLE1_PAPER
+
+APPS = ("bcp", "signalguru")
+
+
+def _parse_fault(spec: str) -> Tuple[float, List[int]]:
+    """``"300:3,4"`` -> ``(300.0, [3, 4])``."""
+    try:
+        time_part, idx_part = spec.split(":", 1)
+        t = float(time_part)
+        idxs = [int(i) for i in idx_part.split(",") if i]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"fault spec must look like TIME:IDX[,IDX...], got {spec!r}"
+        ) from exc
+    if t < 0 or not idxs:
+        raise argparse.ArgumentTypeError(f"bad fault spec {spec!r}")
+    return t, idxs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MobiStreams reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one deployment and report metrics")
+    run_p.add_argument("--app", choices=APPS, default="bcp")
+    run_p.add_argument("--scheme", choices=SCHEME_ORDER, default="ms-8")
+    run_p.add_argument("--duration", type=float, default=900.0,
+                       help="simulated seconds (default 900)")
+    run_p.add_argument("--warmup", type=float, default=150.0)
+    run_p.add_argument("--regions", type=int, default=1)
+    run_p.add_argument("--phones", type=int, default=8)
+    run_p.add_argument("--idle", type=int, default=2)
+    run_p.add_argument("--seed", type=int, default=3)
+    run_p.add_argument("--period", type=float, default=300.0,
+                       help="checkpoint period in seconds")
+    run_p.add_argument("--crash", type=_parse_fault, default=None,
+                       metavar="T:I,J", help="crash phones I,J at time T")
+    run_p.add_argument("--depart", type=_parse_fault, default=None,
+                       metavar="T:I,J", help="phones I,J leave at time T")
+    run_p.add_argument("--verbose", action="store_true",
+                       help="also print fault-tolerance counters")
+
+    bench_p = sub.add_parser("bench", help="regenerate a paper artifact")
+    bench_p.add_argument("artifact",
+                         choices=["table1", "fig8", "fig9", "fig10",
+                                  "ablation", "all"])
+    bench_p.add_argument("--quick", action="store_true")
+
+    sub.add_parser("info", help="list apps, schemes, paper numbers")
+    return parser
+
+
+def cmd_run(args) -> int:
+    cfg = ExperimentConfig(
+        app=args.app, scheme=args.scheme, duration_s=args.duration,
+        warmup_s=args.warmup, seed=args.seed, n_regions=args.regions,
+        phones_per_region=args.phones, idle_per_region=args.idle,
+        checkpoint_period_s=args.period, crash=args.crash,
+        depart=args.depart,
+    )
+    out = run_experiment(cfg)
+    print(f"app={args.app} scheme={args.scheme} "
+          f"duration={args.duration:.0f}s seed={args.seed}")
+    for name, rm in out.report.per_region.items():
+        print(f"  {name}: {rm.output_tuples} outputs, "
+              f"{rm.throughput_tps:.3f} t/s, "
+              f"latency mean {rm.mean_latency_s:.1f}s "
+              f"p95 {rm.p95_latency_s:.1f}s")
+    if out.region_stopped:
+        print("  region0 STOPPED (unrecoverable failure set)")
+    if out.recoveries:
+        print(f"  recoveries: {out.recoveries}")
+    if out.report.departures_handled:
+        print(f"  departures handled: {out.report.departures_handled}")
+    if args.verbose:
+        r = out.report
+        print(f"  preserved bytes:    {r.preserved_bytes:,.0f}")
+        print(f"  ft network bytes:   {r.ft_network_bytes:,.0f}")
+        print(f"  wifi bytes:         {r.wifi_bytes:,.0f}")
+        print(f"  cellular bytes:     {r.cellular_bytes:,.0f}")
+    return 1 if out.region_stopped else 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import run_all
+
+    argv = ["--quick"] if args.quick else []
+    if args.artifact != "all":
+        argv += ["--only", args.artifact]
+    return run_all.main(argv)
+
+
+def cmd_info(args) -> int:
+    print("applications:")
+    print("  bcp         Bus Capacity Prediction (Fig. 2): camera frames ->")
+    print("              Haar-style face counting -> boarding/capacity models")
+    print("  signalguru  SignalGuru (Fig. 3): color/shape/motion filters ->")
+    print("              SVM traffic-signal prediction")
+    print("\nfault-tolerance schemes:")
+    for label, factory in scheme_factories().items():
+        scheme = factory() if callable(factory) else factory
+        print(f"  {label:<8s} {type(scheme).__name__}")
+    print("\npaper reference points (Table I, tuples/s | seconds):")
+    for app, rows in TABLE1_PAPER.items():
+        (tl, th), (ll, lh) = rows["server"]
+        print(f"  {app}: server {tl}-{th} t/s, {ll}-{lh}s latency; "
+              f"ms {rows['ms_ft_off'][0]} t/s, {rows['ms_ft_off'][1]}s")
+    print("\npaper Fig. 8 latency bars (normalized):")
+    for app, bars in PAPER_LATENCY.items():
+        print(f"  {app}: " + " ".join(f"{k}={v}" for k, v in bars.items()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return {"run": cmd_run, "bench": cmd_bench, "info": cmd_info}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Application specification: what a stream application provides.
+
+A MobiStreams application (BCP, SignalGuru, or a user's own) supplies
+three factories, all pure so that every region and every replication
+chain gets independent instances:
+
+* :meth:`AppSpec.build_graph` — a fresh :class:`~repro.core.graph.QueryGraph`.
+* :meth:`AppSpec.build_placement` — operators -> phones for one region.
+* :meth:`AppSpec.build_workloads` — per-source workload iterators for one
+  region (sources without a workload receive only inter-region input).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.core.graph import QueryGraph
+from repro.core.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RngRegistry
+
+
+class AppSpec(ABC):
+    """Base class for stream applications."""
+
+    #: Human-readable application name.
+    name: str = "app"
+
+    @abstractmethod
+    def build_graph(self) -> QueryGraph:
+        """A fresh query network (independent operator instances)."""
+
+    @abstractmethod
+    def build_placement(self, phone_ids: List[str]) -> Placement:
+        """Assign operators to the region's computing phones (factor 1).
+
+        Schemes that need replication call ``.replicate(...)`` on the
+        result themselves.
+        """
+
+    @abstractmethod
+    def build_workloads(
+        self, rng: "RngRegistry", region_index: int
+    ) -> Dict[str, Iterable]:
+        """Map source-operator name -> workload iterator for one region.
+
+        Each iterator yields ``(inter_arrival_s, payload, size_bytes)``.
+        Only locally-sensed sources (cameras, sensors) appear here; the
+        inter-region entry source is fed by the upstream region.
+        """
+
+    def compute_phones_needed(self) -> int:
+        """How many computing phones one region requires (default 8)."""
+        return 8

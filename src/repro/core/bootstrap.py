@@ -1,0 +1,273 @@
+"""System startup (Section III-A).
+
+The paper's boot sequence, simulated end to end:
+
+1. A phone that has stayed inside a pre-defined region for a dwell
+   period (GPS-detected) registers itself with the controller over the
+   cellular network.
+2. Once a region holds sufficient phones (an application-defined
+   threshold), the controller splits the region's computation task into
+   operators, ships each phone its code bundle over the cellular
+   downlink, and connects the phones via ad-hoc WiFi.
+3. Sink nodes are told to connect to the source nodes of downstream
+   neighbour regions over the cellular network; then the region's DSPS
+   starts processing.
+4. A region without sufficient phones is *skipped*: the controller
+   bypasses it, wiring its upstream regions directly to its downstream
+   regions.  The region can be booted later when enough phones arrive.
+
+Because regions boot independently in parallel, "an application's boot
+time does not increase significantly when the region number increases"
+— :func:`Bootstrapper.boot_time` lets experiments verify exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.controller import CONTROLLER_ID
+from repro.net.cellular import UnknownEndpoint
+from repro.net.packet import Message
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.region import Region
+    from repro.core.system import MobiStreamsSystem
+
+
+@dataclass
+class BootstrapConfig:
+    """Startup-protocol parameters.
+
+    Attributes
+    ----------
+    dwell_s:
+        How long a phone must remain in a region before registering
+        ("has remained in the region for a period of time (defined by
+        application developers)").
+    registration_size:
+        Bytes of the registration message sent over cellular.
+    min_phones:
+        Phones a region needs before the controller assigns the task.
+        ``None`` means every phone of the region's placement.
+    deadline_s:
+        Give up waiting for the threshold after this long and bypass the
+        region (``None`` = wait forever).
+    """
+
+    dwell_s: float = 10.0
+    registration_size: int = 64
+    min_phones: Optional[int] = None
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.dwell_s < 0:
+            raise ValueError("dwell must be >= 0")
+        if self.min_phones is not None and self.min_phones < 1:
+            raise ValueError("min_phones must be >= 1")
+
+
+@dataclass
+class BootRecord:
+    """Outcome of one region's boot attempt."""
+
+    region: str
+    t_begin: float
+    t_ready: Optional[float] = None
+    registered: int = 0
+    skipped: bool = False
+
+    @property
+    def boot_time(self) -> Optional[float]:
+        """Seconds from bootstrap start to the region processing data."""
+        return None if self.t_ready is None else self.t_ready - self.t_begin
+
+
+class Bootstrapper:
+    """Drives the staged startup of a built (but unstarted) system."""
+
+    def __init__(
+        self,
+        system: "MobiStreamsSystem",
+        config: Optional[BootstrapConfig] = None,
+        arrivals: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """``arrivals`` maps phone id -> virtual time the phone enters its
+        region (default 0 for every phone: all already present)."""
+        self.system = system
+        self.sim = system.sim
+        self.config = config or BootstrapConfig()
+        self.arrivals = dict(arrivals or {})
+        self.records: Dict[str, BootRecord] = {}
+        self._registered: Dict[str, List[str]] = {}
+        self._threshold_events: Dict[str, Event] = {}
+        self._launched = False
+
+    # -- public API ---------------------------------------------------------
+    def launch(self) -> "Bootstrapper":
+        """Arm the registration and boot processes for every region."""
+        if self._launched:
+            raise RuntimeError("bootstrap already launched")
+        self._launched = True
+        self.system.mark_started()
+        for region, scheme in zip(self.system.regions, self.system.schemes):
+            self.records[region.name] = BootRecord(region.name, self.sim.now)
+            self._registered[region.name] = []
+            self._threshold_events[region.name] = Event(self.sim)
+            for pid in list(region.phones):
+                self.sim.process(
+                    self._register_phone(region, pid),
+                    name=f"boot.reg.{pid}",
+                ).defuse()
+            self.sim.process(
+                self._boot_region(region, scheme), name=f"boot.{region.name}"
+            ).defuse()
+        return self
+
+    def boot_time(self, region_index: int = 0) -> Optional[float]:
+        """Boot duration of one region (None if skipped / not yet ready)."""
+        name = self.system.regions[region_index].name
+        return self.records[name].boot_time
+
+    def max_boot_time(self) -> float:
+        """The application-level boot time: the slowest booted region."""
+        times = [r.boot_time for r in self.records.values() if r.boot_time]
+        if not times:
+            raise RuntimeError("no region has booted")
+        return max(times)
+
+    def register_late_phone(self, region_index: int, phone_id: str) -> None:
+        """A phone enters a previously-skipped region; re-attempt the boot
+        once the threshold is met ("this region will be started in the
+        future when it has sufficient phones")."""
+        region = self.system.regions[region_index]
+        if phone_id not in region.phones:
+            raise KeyError(f"{phone_id!r} is not a phone of {region.name}")
+        self.sim.process(
+            self._register_phone(region, phone_id, late=True),
+            name=f"boot.late.{phone_id}",
+        ).defuse()
+
+    # -- protocol steps ---------------------------------------------------------
+    def _threshold(self, region: "Region") -> int:
+        if self.config.min_phones is not None:
+            return self.config.min_phones
+        return len(set(region.placement.used_nodes()))
+
+    def _register_phone(self, region: "Region", phone_id: str, late: bool = False):
+        """Dwell, then register with the controller over cellular."""
+        # A late registration means the phone is in the region *now* —
+        # any original arrival schedule is obsolete.
+        arrival = self.sim.now if late else self.arrivals.get(phone_id, 0.0)
+        wait = max(0.0, arrival - self.sim.now) + self.config.dwell_s
+        yield self.sim.timeout(wait)
+        phone = region.phones.get(phone_id)
+        if phone is None or not phone.alive:
+            return
+        region.join_cellular(phone_id)
+        msg = Message(
+            src=phone_id, dst=CONTROLLER_ID, size=self.config.registration_size,
+            kind="register", payload=("register", region.name, phone_id),
+        )
+        try:
+            yield from region.cellular.send(msg)
+        except UnknownEndpoint:  # pragma: no cover - controller is wired
+            return
+        roster = self._registered[region.name]
+        roster.append(phone_id)
+        self.records[region.name].registered = len(roster)
+        region.trace.record(
+            self.sim.now, "phone_registered", region=region.name, phone=phone_id
+        )
+        ev = self._threshold_events[region.name]
+        if len(roster) >= self._threshold(region) and not ev.triggered:
+            ev.succeed()
+
+    def _boot_region(self, region: "Region", scheme) -> object:
+        """Wait for the threshold, ship code, connect, start."""
+        record = self.records[region.name]
+        ev = self._threshold_events[region.name]
+        if self.config.deadline_s is not None:
+            deadline = self.sim.timeout(self.config.deadline_s)
+            result = yield self.sim.any_of([ev, deadline])
+            if not ev.triggered:
+                record.skipped = True
+                self._bypass(region)
+                # Re-arm: a later registration can still boot the region.
+                self.sim.process(
+                    self._boot_late(region, scheme), name=f"boot.retry.{region.name}"
+                ).defuse()
+                return "skipped"
+        else:
+            yield ev
+        yield from self._assign_task(region, scheme, record)
+        return "booted"
+
+    def _boot_late(self, region: "Region", scheme):
+        ev = self._threshold_events[region.name]
+        if not ev.triggered:
+            yield ev
+        record = self.records[region.name]
+        yield from self._assign_task(region, scheme, record)
+        record.skipped = False
+        self._unbypass(region)
+
+    def _assign_task(self, region: "Region", scheme, record: BootRecord):
+        """Section III-A step 2-3: code shipping, WiFi mesh, cascading."""
+        # The controller "transfers the code of each sub-task to a
+        # registered phone": one bundle per compute phone, in parallel.
+        sends = []
+        for nid in sorted(set(region.placement.used_nodes())):
+            msg = Message(
+                src=CONTROLLER_ID, dst=nid, size=region.config.code_size,
+                kind="code", payload=("code",),
+            )
+            sends.append(self.sim.process(self._ship(region, msg), name="boot.code"))
+        if sends:
+            yield self.sim.all_of(sends)
+        # "connects the phones via ad-hoc WiFi".
+        yield self.sim.timeout(region.config.wifi_rebuild_s)
+        region.start()
+        self.system.arm_checkpoint_clock(region, scheme)
+        # Sink nodes connect to downstream regions' sources over cellular.
+        for _ in region.downstream_regions():
+            yield self.sim.timeout(region.cellular.config.latency_s)
+        record.t_ready = self.sim.now
+        region.trace.record(
+            self.sim.now, "region_booted", region=region.name,
+            boot_time=record.boot_time, registered=record.registered,
+        )
+
+    def _ship(self, region: "Region", msg: Message):
+        try:
+            yield from region.cellular.send(msg)
+        except UnknownEndpoint:  # pragma: no cover
+            pass
+
+    # -- cascade bypass -----------------------------------------------------------
+    def _bypass(self, region: "Region") -> None:
+        """Wire the skipped region's upstreams directly to its downstreams."""
+        for upstream in self.system.regions:
+            if upstream is region:
+                continue
+            downs = upstream.downstream_regions()
+            if region in downs:
+                new = [d for d in downs if d is not region]
+                for d in region.downstream_regions():
+                    if d not in new:
+                        new.append(d)
+                upstream.set_downstream_regions(new)
+        region.trace.record(self.sim.now, "region_bypassed", region=region.name)
+
+    def _unbypass(self, region: "Region") -> None:
+        """Restore the cascade once a skipped region finally boots."""
+        for upstream in self.system.regions:
+            if upstream is region:
+                continue
+            downs = upstream.downstream_regions()
+            if any(d in downs for d in region.downstream_regions()):
+                new = [d for d in downs if d not in region.downstream_regions()]
+                new.append(region)
+                upstream.set_downstream_regions(new)
+        region.trace.record(self.sim.now, "region_unbypassed", region=region.name)

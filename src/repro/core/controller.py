@@ -1,0 +1,282 @@
+"""The global controller (Section III).
+
+"A MobiStreams system requires a controller — a global server node that
+can connect to all the phones in the regions via the cellular network.
+The controller is lightweight — it is used only for control purposes and
+is not involved in any data transmission between phones. [...] the
+controller is deemed reliable."
+
+Responsibilities implemented here:
+
+* **Failure detection** — ping source nodes every 30 s with a 10 s
+  timeout; accept failure reports from upstream neighbours.
+* **Recovery orchestration** — batch burst reports briefly (simultaneous
+  failures arrive as several reports), then hand the failed set to the
+  region's fault-tolerance scheme; stop/bypass the region when the scheme
+  declares it unrecoverable or phones run out.
+* **Departure handling** — confirm via GPS that the phone left (vs. WiFi
+  disturbance), then drive the scheme's state-transfer/replacement path.
+* **Checkpoint triggering** — notify a region's source nodes each period
+  (schemes that want coordinated checkpoints register for this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.net.packet import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.region import Region
+    from repro.net.cellular import CellularNetwork
+    from repro.sim.core import Simulator
+    from repro.sim.monitor import Trace
+
+CONTROLLER_ID = "controller"
+
+#: Sentinel a scheme returns when the failure set exceeds its tolerance.
+UNRECOVERABLE = "unrecoverable"
+
+
+@dataclass
+class ControllerConfig:
+    """Detection/orchestration timing (Section IV defaults)."""
+
+    ping_period_s: float = 30.0
+    ping_timeout_s: float = 10.0
+    #: Window to coalesce burst failure reports into one recovery.
+    report_batch_s: float = 1.0
+    #: GPS-based departure confirmation delay (tentative WiFi rebuilds).
+    departure_confirm_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ping_period_s <= 0 or self.ping_timeout_s <= 0:
+            raise ValueError("ping periods must be positive")
+
+
+class Controller:
+    """The reliable control-plane node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cellular: "CellularNetwork",
+        trace: "Trace",
+        config: Optional[ControllerConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.cellular = cellular
+        self.trace = trace
+        self.config = config or ControllerConfig()
+        self.regions: List["Region"] = []
+        self._pending_failures: Dict[str, Set[str]] = {}
+        self._recovering: Set[str] = set()
+        self._handled: Dict[str, Set[str]] = {}
+        cellular.register_wired(CONTROLLER_ID, self._deliver)
+
+    # -- wiring -------------------------------------------------------------
+    def manage(self, region: "Region") -> None:
+        """Take responsibility for a region."""
+        self.regions.append(region)
+        region.controller = self
+        self._pending_failures[region.name] = set()
+        self._handled[region.name] = set()
+        self.sim.process(self._ping_loop(region), name=f"ctl.ping.{region.name}").defuse()
+
+    def _deliver(self, msg: Message) -> None:
+        """Cellular messages addressed to the controller (reports, acks)."""
+        payload = msg.payload
+        if isinstance(payload, tuple) and payload and payload[0] == "failure_report":
+            _, region_name, phone_id = payload
+            region = self._region_by_name(region_name)
+            if region is not None:
+                self.on_failure_report(region, phone_id, reporter=msg.src)
+
+    def _region_by_name(self, name: str) -> Optional["Region"]:
+        for r in self.regions:
+            if r.name == name:
+                return r
+        return None
+
+    # -- failure detection ----------------------------------------------------
+    def _ping_loop(self, region: "Region"):
+        """Ping the region's source nodes over cellular (Section III-D)."""
+        while not region.stopped:
+            yield self.sim.timeout(self.config.ping_period_s)
+            if region.stopped or region.paused:
+                continue
+            for sid in region.source_node_ids():
+                phone = region.phones.get(sid)
+                # Charge the ping round-trip (tiny messages).
+                yield self.sim.timeout(self.config.ping_timeout_s / 10.0)
+                self.trace.count("ctl.pings")
+                if phone is None or not phone.alive or not self.cellular.is_registered(sid):
+                    # No response within the timeout: declared failed.
+                    yield self.sim.timeout(self.config.ping_timeout_s)
+                    self.on_failure_report(region, sid, reporter=CONTROLLER_ID)
+
+    def on_failure_report(self, region: "Region", phone_id: str, reporter: str = "") -> None:
+        """A node (or the ping loop) reports ``phone_id`` as failed."""
+        if region.stopped:
+            return
+        handled = self._handled[region.name]
+        if phone_id in handled:
+            return
+        phone = region.phones.get(phone_id)
+        if phone is not None and phone.alive and not region.wifi.is_member(phone_id):
+            # Alive but out of WiFi: that's a departure, not a failure.
+            self.on_departure_report(region, phone_id)
+            return
+        handled.add(phone_id)
+        pending = self._pending_failures[region.name]
+        start_batch = not pending and region.name not in self._recovering
+        pending.add(phone_id)
+        self.trace.record(
+            self.sim.now, "failure_reported", region=region.name,
+            phone=phone_id, reporter=reporter,
+        )
+        if start_batch:
+            self.sim.process(
+                self._recovery_driver(region), name=f"ctl.recover.{region.name}"
+            ).defuse()
+
+    def on_urgent_report(self, region: "Region", src: str, dst: str) -> None:
+        """Nodes report urgent (cellular) mode; informational."""
+        self.trace.count("ctl.urgent_reports")
+
+    def on_self_report(self, region: "Region", phone_id: str) -> None:
+        """A node actively reports its own imminent failure (chronic
+        battery, Section III-D).  Schemes that support it hand the node's
+        work off *before* the phone dies; others wait for the crash."""
+        if region.stopped or phone_id in self._handled[region.name]:
+            return
+        self.trace.record(
+            self.sim.now, "self_report", region=region.name, phone=phone_id
+        )
+        handler = region.scheme.on_self_report(phone_id)
+        if handler is None or handler == UNRECOVERABLE:
+            # No proactive handoff available; the eventual battery death
+            # will arrive as an ordinary failure report.
+            return
+        self._handled[region.name].add(phone_id)
+        self.sim.process(
+            self._handoff_driver(region, phone_id, handler),
+            name=f"ctl.handoff.{region.name}",
+        ).defuse()
+
+    def _handoff_driver(self, region: "Region", phone_id: str, handler):
+        outcome = yield self.sim.process(handler, name=f"{region.name}.scheme.handoff")
+        self.trace.record(
+            self.sim.now, "handoff_finished", region=region.name,
+            phone=phone_id, outcome=outcome,
+        )
+
+    # -- recovery orchestration --------------------------------------------------
+    def _recovery_driver(self, region: "Region"):
+        """Batch burst reports, then run the scheme's recovery."""
+        yield self.sim.timeout(self.config.report_batch_s)
+        while self._pending_failures[region.name]:
+            pending = self._pending_failures[region.name]
+            # Burst failures are detected at different times (pings vs.
+            # neighbour probes); recover the *whole* dead set at once, not
+            # just the phones reported so far.
+            for nid in region.placement.used_nodes():
+                phone = region.phones.get(nid)
+                if phone is None or not phone.alive:
+                    pending.add(nid)
+                    self._handled[region.name].add(nid)
+            failed = sorted(pending)
+            pending.clear()
+            self._recovering.add(region.name)
+            self.trace.record(
+                self.sim.now, "recovery_started", region=region.name, failed=failed
+            )
+            t0 = self.sim.now
+            outcome = yield self.sim.process(
+                self._run_recovery(region, failed), name=f"ctl.recovery.{region.name}"
+            )
+            self._recovering.discard(region.name)
+            self.trace.record(
+                self.sim.now,
+                "recovery_finished",
+                region=region.name,
+                failed=failed,
+                outcome=outcome,
+                duration=self.sim.now - t0,
+            )
+            if outcome == UNRECOVERABLE:
+                region.stop(reason=f"unrecoverable failure of {failed}")
+                return
+            # More failures may have been reported while recovering.
+            yield self.sim.timeout(self.config.report_batch_s)
+
+    def _run_recovery(self, region: "Region", failed: List[str]):
+        recovery = region.scheme.on_failure(failed)
+        if recovery == UNRECOVERABLE or recovery is None:
+            return UNRECOVERABLE
+        try:
+            outcome = yield self.sim.process(recovery, name=f"{region.name}.scheme.recover")
+        except Exception as exc:
+            # A broken recovery must not hang the region silently.
+            self.trace.record(
+                self.sim.now, "recovery_error", region=region.name, error=repr(exc)
+            )
+            return UNRECOVERABLE
+        return outcome
+
+    # -- departures ----------------------------------------------------------
+    def on_departure_report(self, region: "Region", phone_id: str) -> None:
+        """A phone appears to have left the region (broken WiFi links)."""
+        if region.stopped:
+            return
+        handled = self._handled[region.name]
+        key = f"dep:{phone_id}"
+        if key in handled or phone_id in handled:
+            return
+        handled.add(key)
+        self.sim.process(
+            self._departure_driver(region, phone_id), name=f"ctl.depart.{region.name}"
+        ).defuse()
+
+    def _departure_driver(self, region: "Region", phone_id: str):
+        # GPS check: distinguish departure from WiFi disturbance
+        # (Section III-E); a couple of tentative rebuild attempts.
+        yield self.sim.timeout(self.config.departure_confirm_s)
+        phone = region.phones.get(phone_id)
+        if phone is None or not phone.alive:
+            # It actually died while we were confirming.
+            self.on_failure_report(region, phone_id, reporter=CONTROLLER_ID)
+            return
+        self.trace.record(self.sim.now, "departure_confirmed", region=region.name, phone=phone_id)
+        handler = region.scheme.on_departure(phone_id)
+        if handler == UNRECOVERABLE or handler is None:
+            region.stop(reason=f"departure of {phone_id} not handled")
+            return
+        outcome = yield self.sim.process(handler, name=f"{region.name}.scheme.depart")
+        self.trace.record(
+            self.sim.now, "departure_handled", region=region.name,
+            phone=phone_id, outcome=outcome,
+        )
+
+    # -- checkpoint triggering -----------------------------------------------------
+    def start_checkpoint_clock(self, region: "Region", period_s: float) -> None:
+        """Periodically ask the region's scheme to checkpoint (Section III-B,
+        step one: "the controller sends a notification to the source nodes")."""
+        if period_s <= 0:
+            raise ValueError("checkpoint period must be positive")
+        self.sim.process(
+            self._checkpoint_clock(region, period_s), name=f"ctl.ckpt.{region.name}"
+        ).defuse()
+
+    def _checkpoint_clock(self, region: "Region", period_s: float):
+        while not region.stopped:
+            yield self.sim.timeout(period_s)
+            if region.stopped or region.paused:
+                continue
+            # Notification reaches source nodes over cellular.
+            yield self.sim.timeout(self.cellular.config.latency_s)
+            region.scheme.request_checkpoint()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Controller regions={len(self.regions)}>"

@@ -1,0 +1,165 @@
+"""The query network: a DAG of operators (Section II-A, Fig. 1a).
+
+Built on :mod:`networkx`.  The graph also derives the *high-level* query
+network between nodes (Fig. 1b) once a placement maps operators to
+phones — the token protocol, failure monitoring, and stream routing all
+operate at node granularity ("a group of operators on a node can be
+treated as a single super operator").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.operator import Operator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.placement import Placement
+
+
+class GraphError(Exception):
+    """Raised for malformed query networks."""
+
+
+class QueryGraph:
+    """A directed acyclic graph of named operators."""
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+        self._operators: Dict[str, Operator] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_operator(self, op: Operator) -> "QueryGraph":
+        """Add an operator (name must be unique). Returns self for chaining."""
+        if op.name in self._operators:
+            raise GraphError(f"duplicate operator name {op.name!r}")
+        self._operators[op.name] = op
+        self._g.add_node(op.name)
+        return self
+
+    def connect(self, upstream: str, downstream: str) -> "QueryGraph":
+        """Add a stream from ``upstream`` to ``downstream``."""
+        for name in (upstream, downstream):
+            if name not in self._operators:
+                raise GraphError(f"unknown operator {name!r}")
+        if upstream == downstream:
+            raise GraphError("self-loops are not allowed")
+        self._g.add_edge(upstream, downstream)
+        return self
+
+    def chain(self, *names: str) -> "QueryGraph":
+        """Connect a linear pipeline ``names[0] -> names[1] -> ...``."""
+        for a, b in zip(names, names[1:]):
+            self.connect(a, b)
+        return self
+
+    # -- validation ----------------------------------------------------------
+    def validate(self) -> None:
+        """Check the structural invariants of a query network.
+
+        * acyclic,
+        * at least one source and one sink operator,
+        * source operators have no upstream edges; sinks no downstream,
+        * every operator reachable from some source,
+        * every operator reaches some sink.
+        """
+        if not self._operators:
+            raise GraphError("empty query network")
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise GraphError("query network contains a cycle")
+        sources = self.source_names()
+        sinks = self.sink_names()
+        if not sources:
+            raise GraphError("query network has no source operator")
+        if not sinks:
+            raise GraphError("query network has no sink operator")
+        for s in sources:
+            if self.upstream_of(s):
+                raise GraphError(f"source {s!r} has upstream edges")
+        for s in sinks:
+            if self.downstream_of(s):
+                raise GraphError(f"sink {s!r} has downstream edges")
+        reachable = set()
+        for s in sources:
+            reachable |= {s} | nx.descendants(self._g, s)
+        if reachable != set(self._operators):
+            missing = set(self._operators) - reachable
+            raise GraphError(f"operators unreachable from sources: {sorted(missing)}")
+        reaches_sink = set()
+        for s in sinks:
+            reaches_sink |= {s} | nx.ancestors(self._g, s)
+        if reaches_sink != set(self._operators):
+            dangling = set(self._operators) - reaches_sink
+            raise GraphError(f"operators that reach no sink: {sorted(dangling)}")
+
+    # -- queries --------------------------------------------------------------
+    def operator(self, name: str) -> Operator:
+        """The operator object called ``name``."""
+        return self._operators[name]
+
+    def operators(self) -> List[Operator]:
+        """All operators, in insertion order."""
+        return list(self._operators.values())
+
+    def names(self) -> List[str]:
+        """All operator names, in insertion order."""
+        return list(self._operators)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._operators
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def upstream_of(self, name: str) -> List[str]:
+        """Direct upstream operator names."""
+        return list(self._g.predecessors(name))
+
+    def downstream_of(self, name: str) -> List[str]:
+        """Direct downstream operator names."""
+        return list(self._g.successors(name))
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All (upstream, downstream) operator pairs."""
+        return list(self._g.edges())
+
+    def source_names(self) -> List[str]:
+        """Operators flagged as sources."""
+        return [n for n, op in self._operators.items() if op.is_source]
+
+    def sink_names(self) -> List[str]:
+        """Operators flagged as sinks."""
+        return [n for n, op in self._operators.items() if op.is_sink]
+
+    def topological_order(self) -> List[str]:
+        """Operator names in a topological order."""
+        return list(nx.topological_sort(self._g))
+
+    # -- node-level derivation (Fig. 1b) --------------------------------------
+    def node_graph(self, assignment: Dict[str, str]) -> nx.DiGraph:
+        """Collapse the operator DAG onto nodes via ``assignment``.
+
+        ``assignment`` maps operator name -> node id.  Edges between
+        operators on the same node vanish (intra-node data pass); edges
+        between different nodes become node-level streams.  Raises
+        :class:`GraphError` if the collapsed graph has a cycle (a
+        placement must not create node-level cycles, or the token protocol
+        would deadlock).
+        """
+        ng = nx.DiGraph()
+        for op_name in self._operators:
+            if op_name not in assignment:
+                raise GraphError(f"operator {op_name!r} has no node assignment")
+            ng.add_node(assignment[op_name])
+        for u, v in self._g.edges():
+            nu, nv = assignment[u], assignment[v]
+            if nu != nv:
+                ng.add_edge(nu, nv)
+        if not nx.is_directed_acyclic_graph(ng):
+            raise GraphError("placement induces a cycle between nodes")
+        return ng
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<QueryGraph ops={len(self._operators)} edges={self._g.number_of_edges()}>"

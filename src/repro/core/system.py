@@ -1,0 +1,223 @@
+"""The full MobiStreams deployment: cascaded regions + controller.
+
+Assembles everything (Fig. 4): N regions cascaded in a line (the paper's
+experiments use 4 — bus stops along a route, intersections along a road),
+one cellular network, one reliable controller, one scheme instance per
+region, phones placed geometrically inside each region's area.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.core.app import AppSpec
+from repro.core.controller import Controller, ControllerConfig
+from repro.core.metrics import MetricsReport, compute_metrics
+from repro.core.region import Region, RegionConfig
+from repro.device.failures import FailureInjector
+from repro.device.mobility import MobilityModel
+from repro.device.phone import Phone, PhoneConfig
+from repro.net.cellular import CellularConfig, CellularNetwork
+from repro.net.topology import Position, RegionArea
+from repro.net.wifi import WifiCell, WifiConfig
+from repro.sim.core import Simulator
+from repro.sim.monitor import Trace
+from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: Distance between cascaded regions (far beyond WiFi range).
+REGION_SPACING_M = 500.0
+
+
+@dataclass
+class SystemConfig:
+    """Deployment-wide configuration (defaults follow Section IV)."""
+
+    n_regions: int = 4
+    phones_per_region: int = 8
+    idle_per_region: int = 2
+    master_seed: int = 0
+    #: Checkpoint period; "The checkpoint period in MobiStreams is 5 minutes."
+    checkpoint_period_s: float = 300.0
+    wifi: WifiConfig = field(default_factory=WifiConfig)
+    cellular: CellularConfig = field(default_factory=CellularConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    phone: PhoneConfig = field(default_factory=PhoneConfig)
+    region_defaults: RegionConfig = field(default_factory=lambda: RegionConfig(name="_"))
+    trace_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_regions < 1:
+            raise ValueError("need at least one region")
+        if self.phones_per_region < 1:
+            raise ValueError("need at least one phone per region")
+
+
+class MobiStreamsSystem:
+    """A runnable multi-region MobiStreams deployment."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        app: AppSpec,
+        scheme_factory: Callable[[], Any],
+    ) -> None:
+        self.config = config
+        self.app = app
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.master_seed)
+        self.trace = Trace(enabled=config.trace_enabled)
+        self.cellular = CellularNetwork(self.sim, self.rng, config.cellular, trace=self.trace)
+        self.controller = Controller(self.sim, self.cellular, self.trace, config.controller)
+        self.injector = FailureInjector(self.sim, trace=self.trace)
+        self.injector.on_crash(self._apply_crash)
+        self.regions: List[Region] = []
+        self.schemes: List[Any] = []
+        self._phone_region: Dict[str, Region] = {}
+        self._build_regions(scheme_factory)
+        self._started = False
+
+    # -- construction ------------------------------------------------------
+    def _build_regions(self, scheme_factory: Callable[[], Any]) -> None:
+        cfg = self.config
+        geo_rng = self.rng.stream("geometry")
+        for r in range(cfg.n_regions):
+            name = f"region{r}"
+            area = RegionArea(Position(REGION_SPACING_M * r, 0.0), radius=10.0)
+            compute = [
+                Phone(f"{name}.p{i}", area.random_point(geo_rng), cfg.phone)
+                for i in range(cfg.phones_per_region)
+            ]
+            idle = [
+                Phone(f"{name}.idle{i}", area.random_point(geo_rng), cfg.phone)
+                for i in range(cfg.idle_per_region)
+            ]
+            wifi = WifiCell(self.sim, self.rng, cfg.wifi, name=name, trace=self.trace)
+            scheme = scheme_factory()
+            factor = getattr(scheme, "replication_factor", 1)
+            compute_ids = [p.id for p in compute]
+            if factor > 1:
+                # rep-k: squeeze the whole dataflow onto the first 1/k of
+                # the phones, then replicate onto disjoint ring shifts —
+                # each chain runs on its own phones (Flux-style pairing).
+                base = self.app.build_placement(compute_ids[: len(compute_ids) // factor])
+                placement = base.replicate(compute_ids, factor)
+            else:
+                placement = self.app.build_placement(compute_ids)
+            region_cfg = dataclasses.replace(cfg.region_defaults, name=name)
+            region = Region(
+                sim=self.sim,
+                rng=self.rng,
+                trace=self.trace,
+                config=region_cfg,
+                graph_factory=self.app.build_graph,
+                placement=placement,
+                compute_phones=compute,
+                idle_phones=idle,
+                wifi=wifi,
+                cellular=self.cellular,
+                scheme=scheme,
+            )
+            for op_name, workload in self.app.build_workloads(self.rng, r).items():
+                region.bind_workload(op_name, workload)
+            self.controller.manage(region)
+            self.regions.append(region)
+            self.schemes.append(scheme)
+            for p in compute + idle:
+                self._phone_region[p.id] = region
+        # Cascade the regions in a line (Section IV: "regions are cascaded
+        # in a line").
+        for upstream, downstream in zip(self.regions, self.regions[1:]):
+            upstream.add_downstream_region(downstream)
+
+    def _apply_crash(self, phone_id: str, reason: str) -> None:
+        region = self._phone_region.get(phone_id)
+        if region is None:
+            raise KeyError(f"unknown phone {phone_id!r}")
+        region.apply_crash(phone_id, reason)
+
+    def apply_departure(self, phone_id: str) -> None:
+        """A phone physically leaves its region (mobility)."""
+        region = self._phone_region.get(phone_id)
+        if region is None:
+            raise KeyError(f"unknown phone {phone_id!r}")
+        region.apply_departure(phone_id)
+
+    def attach_mobility(self, model: "MobilityModel") -> None:
+        """Arm a mobility model: its departures drive the regions.
+
+        The model's ``on_departure`` callback resolves each phone to its
+        region and applies the physical departure (WiFi break, GPS
+        confirmation, scheme handling all follow automatically).
+        """
+        model.start(self.sim, self.apply_departure)
+
+    # -- running ------------------------------------------------------------
+    def start(self) -> None:
+        """Boot every region immediately and arm the checkpoint clocks.
+
+        This is the instant-start path; :meth:`start_staged` simulates the
+        paper's Section III-A startup protocol instead.
+        """
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        for region, scheme in zip(self.regions, self.schemes):
+            region.start()
+            self.arm_checkpoint_clock(region, scheme)
+        self.trace.record(self.sim.now, "system_started", regions=len(self.regions))
+
+    def start_staged(self, bootstrap_config=None, arrivals=None):
+        """Boot through the Section III-A protocol (dwell, registration,
+        threshold, code shipping).  Returns the armed
+        :class:`~repro.core.bootstrap.Bootstrapper`; advance time with
+        :meth:`run` to let the boot proceed."""
+        from repro.core.bootstrap import Bootstrapper
+
+        if self._started:
+            raise RuntimeError("system already started")
+        return Bootstrapper(self, bootstrap_config, arrivals).launch()
+
+    def mark_started(self) -> None:
+        """Claim the one-shot start (used by the staged bootstrap)."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+
+    def arm_checkpoint_clock(self, region: Region, scheme: Any) -> None:
+        """Start the controller's periodic checkpoint clock for schemes
+        that want one (idempotent per region start)."""
+        if getattr(scheme, "wants_checkpoint_clock", False):
+            self.controller.start_checkpoint_clock(region, self.config.checkpoint_period_s)
+
+    def run(self, duration_s: float) -> None:
+        """Start (if needed) and simulate ``duration_s`` of virtual time."""
+        if not self._started:
+            self.start()
+        self.sim.run(until=self.sim.now + duration_s)
+
+    def metrics(self, warmup_s: float = 0.0, until: Optional[float] = None) -> MetricsReport:
+        """Measurement report over ``[warmup_s, until]``."""
+        return compute_metrics(
+            self.trace,
+            [r.name for r in self.regions],
+            warmup_s=warmup_s,
+            until=until if until is not None else self.sim.now,
+        )
+
+    def region(self, index: int) -> Region:
+        """Region by cascade position."""
+        return self.regions[index]
+
+    def compute_phone_ids(self, region_index: int = 0) -> List[str]:
+        """The computing phones of one region, in id order."""
+        cfg = self.config
+        name = f"region{region_index}"
+        return [f"{name}.p{i}" for i in range(cfg.phones_per_region)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MobiStreamsSystem regions={len(self.regions)} t={self.sim.now:.1f}s>"

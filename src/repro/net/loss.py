@@ -1,0 +1,149 @@
+"""Packet-loss models for the wireless channels.
+
+Loss is sampled *per receiver per datagram*: a broadcast is one
+transmission, but each receiver independently may or may not hear it.
+Models return vectorized numpy boolean arrays (True = received) so that an
+8192-block broadcast round costs one RNG call per receiver, not 8192.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class LossModel(ABC):
+    """Samples which of ``n`` consecutive datagrams a receiver hears."""
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean array of length ``n``; True = datagram received."""
+
+    def sample_one(self, rng: np.random.Generator) -> bool:
+        """Convenience: fate of a single datagram."""
+        return bool(self.sample(1, rng)[0])
+
+
+class NoLoss(LossModel):
+    """Perfect channel (used for Ethernet and unit tests)."""
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return np.ones(n, dtype=bool)
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss(LossModel):
+    """I.i.d. loss: each datagram independently lost with probability ``p``."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1], got {p}")
+        self.p = p
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return rng.random(n) >= self.p
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss(p={self.p})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (Gilbert-Elliott).
+
+    The channel alternates between a *good* state (loss ``p_good``) and a
+    *bad* state (loss ``p_bad``), with geometric sojourn times.  Real
+    ad-hoc WiFi exhibits exactly this burstiness; the broadcast protocol's
+    bitmap rounds must survive correlated losses (Fig. 6's node C misses an
+    entire round).
+
+    Parameters
+    ----------
+    p_good, p_bad:
+        Per-datagram loss probability in each state.
+    p_g2b, p_b2g:
+        Per-datagram transition probabilities good->bad and bad->good.
+    """
+
+    def __init__(
+        self,
+        p_good: float = 0.01,
+        p_bad: float = 0.6,
+        p_g2b: float = 0.02,
+        p_b2g: float = 0.2,
+    ) -> None:
+        for name, v in (
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+            ("p_g2b", p_g2b),
+            ("p_b2g", p_b2g),
+        ):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {v}")
+        self.p_good = p_good
+        self.p_bad = p_bad
+        self.p_g2b = p_g2b
+        self.p_b2g = p_b2g
+        self._in_bad = False
+
+    @classmethod
+    def from_mean(cls, mean_loss: float, mean_burst: float,
+                  p_bad: float = 0.9) -> "GilbertElliottLoss":
+        """A channel with a given steady-state loss and burst length.
+
+        ``mean_burst`` is the expected bad-state sojourn in datagrams
+        (geometric, so ``p_b2g = 1/mean_burst``); ``p_g2b`` is solved so
+        that the steady-state loss equals ``mean_loss`` with lossless
+        good states.  ``mean_burst = 1`` approximates i.i.d. loss.
+        """
+        if not 0.0 < mean_loss < p_bad:
+            raise ValueError(f"mean_loss must be in (0, {p_bad})")
+        if mean_burst < 1.0:
+            raise ValueError("mean_burst must be >= 1 datagram")
+        pi_bad = mean_loss / p_bad  # steady-state bad fraction
+        p_b2g = 1.0 / mean_burst
+        p_g2b = pi_bad * p_b2g / (1.0 - pi_bad)
+        return cls(p_good=0.0, p_bad=p_bad, p_g2b=min(1.0, p_g2b), p_b2g=p_b2g)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        # Vectorized two-state walk: draw transition and loss uniforms in
+        # bulk, then scan states (the scan is a cheap Python loop over a
+        # pre-drawn array; state dependency prevents full vectorization).
+        trans_u = rng.random(n)
+        loss_u = rng.random(n)
+        received = np.empty(n, dtype=bool)
+        bad = self._in_bad
+        p_g2b, p_b2g = self.p_g2b, self.p_b2g
+        p_good, p_bad = self.p_good, self.p_bad
+        for i in range(n):
+            if bad:
+                if trans_u[i] < p_b2g:
+                    bad = False
+            else:
+                if trans_u[i] < p_g2b:
+                    bad = True
+            received[i] = loss_u[i] >= (p_bad if bad else p_good)
+        self._in_bad = bad
+        return received
+
+    @property
+    def steady_state_loss(self) -> float:
+        """Long-run average loss rate implied by the chain."""
+        pi_bad = self.p_g2b / (self.p_g2b + self.p_b2g)
+        return pi_bad * self.p_bad + (1 - pi_bad) * self.p_good
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(p_good={self.p_good}, p_bad={self.p_bad}, "
+            f"p_g2b={self.p_g2b}, p_b2g={self.p_b2g})"
+        )

@@ -1,0 +1,170 @@
+"""The simulator: virtual clock plus event queue.
+
+The queue orders events by ``(time, priority, sequence)``; the sequence
+number makes scheduling deterministic for simultaneous events.  Priority 0
+is reserved for "urgent" occurrences (process initialization, interrupts)
+so they pre-empt ordinary events scheduled at the same instant; ordinary
+events use priority 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Priority for urgent events (interrupts, process init).
+URGENT = 0
+#: Priority for normal events.
+NORMAL = 1
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Simulator.run` early."""
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Discrete-event simulator with a float-seconds virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute virtual ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        ev = self.timeout(time - self._now)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` seconds of virtual time."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Insert a triggered event into the queue (internal)."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event; raises :class:`EmptySchedule` if none."""
+        try:
+            self._now, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event.defused:
+            # An un-handled failure: surface it rather than losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, mirroring SimPy semantics.
+        """
+        if until is not None:
+            if until < self._now:
+                raise ValueError(f"until ({until}) is in the past (now={self._now})")
+            stopper = self.timeout(until - self._now)
+            stopper.add_callback(self._stop_callback)
+        try:
+            while True:
+                self.step()
+        except StopSimulation:
+            pass
+        except EmptySchedule:
+            if until is not None and self._now < until:
+                self._now = until
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` triggers; returns its value (raises if failed)."""
+        event.add_callback(self._stop_callback)
+        try:
+            while not event.triggered:
+                self.step()
+        except StopSimulation:
+            pass
+        if event._ok is False:
+            event.defuse()
+            raise event._value
+        return event.value
+
+    @staticmethod
+    def _stop_callback(_event: Event) -> None:
+        raise StopSimulation()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,250 @@
+"""Event primitives for the simulation kernel.
+
+Events are one-shot occurrences on the virtual timeline.  An event moves
+through three states:
+
+``pending``   — created, not yet triggered.
+``triggered`` — has a value (or an exception) and sits in the event queue.
+``processed`` — its callbacks have run.
+
+Processes (see :mod:`repro.sim.process`) wait on events by ``yield``-ing
+them; arbitrary code can also attach callbacks directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Simulator
+
+#: Sentinel for "no value yet".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.core.Simulator`.
+
+    Notes
+    -----
+    ``succeed``/``fail`` may be called at most once; a second call raises
+    :class:`RuntimeError`.  Failed events whose exception is never consumed
+    (no callback, no waiting process) re-raise at the end of the step so
+    errors are not silently dropped.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callables ``cb(event)`` invoked when the event is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """``True`` for success, ``False`` for failure, ``None`` if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled, suppressing re-raise."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        """Whether a failure has been marked as handled."""
+        return self._defused
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns the event itself so that ``return event.succeed()`` chains.
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is thrown into any process waiting on this event.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback``; runs immediately if already processed."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of virtual time in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events trigger themselves")
+
+
+class ConditionValue:
+    """Mapping-like result of a condition: the events that fired, in order."""
+
+    def __init__(self, events: List[Event]) -> None:
+        self.events = events
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict:
+        """Return ``{event: value}`` for all fired events."""
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event over a set of sub-events.
+
+    Fires when ``evaluate(events, n_fired)`` returns True.  Failure of any
+    sub-event fails the condition immediately.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("events belong to different simulators")
+
+        if not self._events or self._evaluate(self._events, 0):
+            # Degenerate condition: trivially true.
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            fired = [e for e in self._events if e.triggered and e.ok]
+            self.succeed(ConditionValue(fired))
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """Evaluator: every sub-event has fired."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        """Evaluator: at least one sub-event has fired."""
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that fires when *all* of ``events`` have succeeded."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires when *any* of ``events`` has succeeded."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, Condition.any_events, events)

@@ -1,0 +1,119 @@
+"""Structured trace recording and counters.
+
+Every subsystem reports into a shared :class:`Trace`: checkpoint rounds,
+failures, recoveries, tuple completions, bytes on each network.  The bench
+harness then derives throughput/latency/data-volume metrics purely from the
+trace, so measurement code never reaches into subsystem internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class TraceRecord:
+    """One trace entry: virtual timestamp, category, free-form payload."""
+
+    time: float
+    category: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class Counter:
+    """A named monotonically-increasing numeric counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Trace:
+    """Append-only trace plus a namespace of counters.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`record` is a no-op (counters still work);
+        used to strip tracing overhead out of large benchmark sweeps.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self.counters: Dict[str, Counter] = {}
+
+    def record(self, time: float, category: str, **data: Any) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, data))
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        c = self.counters.get(name)
+        if c is None:
+            c = Counter(name)
+            self.counters[name] = c
+        return c
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Shorthand for ``trace.counter(name).add(amount)``."""
+        self.counter(name).add(amount)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of counter ``name`` (``default`` if absent)."""
+        c = self.counters.get(name)
+        return c.value if c is not None else default
+
+    # -- queries ---------------------------------------------------------
+    def select(
+        self,
+        category: str,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> Iterator[TraceRecord]:
+        """All records of ``category`` with ``since <= time < until``."""
+        for rec in self.records:
+            if rec.category == category and since <= rec.time < until:
+                yield rec
+
+    def count_of(self, category: str, **time_window: float) -> int:
+        """Number of records matching :meth:`select` filters."""
+        return sum(1 for _ in self.select(category, **time_window))
+
+    def series(
+        self, category: str, key: str, **time_window: float
+    ) -> List[Tuple[float, Any]]:
+        """``(time, record.data[key])`` pairs for matching records."""
+        return [
+            (rec.time, rec.data[key])
+            for rec in self.select(category, **time_window)
+            if key in rec.data
+        ]
+
+    def last(self, category: str) -> Optional[TraceRecord]:
+        """Most recent record of ``category``, or None."""
+        for rec in reversed(self.records):
+            if rec.category == category:
+                return rec
+        return None
+
+    def clear(self) -> None:
+        """Drop all records and counters."""
+        self.records.clear()
+        self.counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Trace records={len(self.records)} counters={len(self.counters)}>"

@@ -1,0 +1,98 @@
+"""Reception bitmaps for the multi-phase UDP broadcast protocol.
+
+Section III-C of the paper: after each broadcast round, every receiver
+returns a bitmap with one bit per message (1 = received).  The sender ANDs
+the bitmaps to find messages missed by at least one receiver, and compares
+the byte *gain* of the round against its byte *cost*.
+
+Bitmaps are ``numpy`` boolean arrays; the helpers below keep all bitmap
+arithmetic vectorized (per the HPC guide: no per-bit Python loops).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+Bitmap = np.ndarray  # alias: 1-D bool array
+
+
+def make_bitmap(n_messages: int, received: Iterable[int] = ()) -> Bitmap:
+    """A bitmap of ``n_messages`` bits with the given indices set."""
+    if n_messages < 0:
+        raise ValueError("n_messages must be >= 0")
+    bm = np.zeros(n_messages, dtype=bool)
+    idx = np.fromiter(received, dtype=np.int64, count=-1)
+    if idx.size:
+        if idx.min() < 0 or idx.max() >= n_messages:
+            raise IndexError("received index out of range")
+        bm[idx] = True
+    return bm
+
+
+def and_bitmaps(bitmaps: Sequence[Bitmap]) -> Bitmap:
+    """AND of all receiver bitmaps: bits every receiver got.
+
+    The complement of this bitmap is the retransmission set: a message must
+    be resent if *any* receiver missed it.
+    """
+    if not bitmaps:
+        raise ValueError("need at least one bitmap")
+    n = len(bitmaps[0])
+    out = np.ones(n, dtype=bool)
+    for bm in bitmaps:
+        if len(bm) != n:
+            raise ValueError("bitmap length mismatch")
+        np.logical_and(out, bm, out=out)
+    return out
+
+
+def missing_indices(anded: Bitmap) -> np.ndarray:
+    """Indices of messages that must be resent (bits that are 0)."""
+    return np.flatnonzero(~anded)
+
+
+def count_received(bitmap: Bitmap) -> int:
+    """Number of messages a receiver holds."""
+    return int(np.count_nonzero(bitmap))
+
+
+def all_received(bitmap: Bitmap) -> bool:
+    """Whether a receiver holds every message."""
+    return bool(bitmap.all())
+
+
+def received_bytes(
+    bitmap: Bitmap, block_size: int, total_size: int
+) -> int:
+    """Bytes held by a receiver, honouring a short final block.
+
+    The paper partitions checkpoint data into 1 KB blocks where "the last
+    block may be less than 1KB"; Fig. 6's arithmetic (e.g. node C holding
+    all blocks but M2 = 8191 KB) depends on this.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    n = len(bitmap)
+    if n == 0:
+        return 0
+    expected_blocks = max(1, math.ceil(total_size / block_size))
+    if expected_blocks != n:
+        raise ValueError(
+            f"bitmap has {n} blocks but total_size {total_size} implies "
+            f"{expected_blocks}"
+        )
+    last_block = total_size - (n - 1) * block_size
+    full = int(np.count_nonzero(bitmap[:-1])) * block_size
+    return full + (last_block if bitmap[-1] else 0)
+
+
+def bitmap_bytes(n_messages: int) -> int:
+    """Wire size of a bitmap reply for ``n_messages`` messages.
+
+    One bit per message, rounded up to whole bytes (Fig. 6: 8192 messages
+    -> 1 KB bitmap).
+    """
+    return max(1, math.ceil(n_messages / 8))

@@ -1,0 +1,142 @@
+"""End-to-end tests of the BCP and SignalGuru applications."""
+
+import pytest
+
+from repro.apps import BCPApp, BCPParams, SignalGuruApp, SignalGuruParams
+from repro.baselines import NoFaultTolerance
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.system import MobiStreamsSystem, SystemConfig
+
+
+def run_app(app, scheme=NoFaultTolerance, duration=400.0, regions=1, seed=3,
+            phones=8, idle=2):
+    cfg = SystemConfig(n_regions=regions, phones_per_region=phones,
+                       idle_per_region=idle, master_seed=seed)
+    s = MobiStreamsSystem(cfg, app, scheme)
+    s.run(duration)
+    return s
+
+
+# -- graph structure ---------------------------------------------------------
+def test_bcp_graph_matches_fig2():
+    g = BCPApp().build_graph()
+    g.validate()
+    assert set(g.source_names()) == {"S0", "S1"}
+    assert g.sink_names() == ["K"]
+    assert set(g.downstream_of("D")) == {"C0", "C1", "C2", "C3"}
+    assert set(g.upstream_of("J")) == {"A", "L", "B"}
+    assert g.downstream_of("P") == ["K"]
+
+
+def test_signalguru_graph_matches_fig3():
+    g = SignalGuruApp().build_graph()
+    g.validate()
+    assert set(g.source_names()) == {"S0", "S1"}
+    assert set(g.downstream_of("S1")) == {"C0", "C1", "C2"}
+    assert g.downstream_of("C1") == ["A1"]
+    assert g.downstream_of("A1") == ["M1"]
+    assert set(g.upstream_of("V")) == {"M0", "M1", "M2"}
+    assert set(g.upstream_of("G")) == {"S0", "V"}
+
+
+def test_bcp_placement_uses_eight_phones():
+    app = BCPApp()
+    phones = [f"p{i}" for i in range(8)]
+    placement = app.build_placement(phones)
+    placement.validate(app.build_graph(), phones)
+    assert len(placement.used_nodes()) == 8
+
+
+def test_placements_squeeze_onto_four_phones():
+    """rep-2 squeezes a whole chain onto half the phones."""
+    for app in (BCPApp(), SignalGuruApp()):
+        phones = [f"p{i}" for i in range(4)]
+        placement = app.build_placement(phones)
+        placement.validate(app.build_graph(), phones)
+
+
+# -- end-to-end behaviour ------------------------------------------------------
+def test_bcp_produces_predictions():
+    s = run_app(BCPApp())
+    m = s.metrics(warmup_s=60.0)
+    rm = m.per_region["region0"]
+    assert rm.output_tuples > 50
+    assert 0.3 < rm.throughput_tps < 1.0  # Table I ballpark: 0.54
+    assert s.trace.value("op_errors") == 0
+
+
+def test_bcp_prediction_payloads_well_formed():
+    s = run_app(BCPApp(), duration=300.0)
+    outs = list(s.trace.select("sink_output"))
+    assert outs
+    # The sink records latency computed from sensed-frame entry.
+    assert all(r.data["latency"] > 0 for r in outs)
+
+
+def test_bcp_counts_track_truth():
+    """The Haar-counter pipeline produces usable crowd estimates."""
+    from repro.apps.vision import FrameSpec, detect_blobs, render_gray
+
+    errors = []
+    for seed in range(12):
+        spec = FrameSpec(seed=seed * 7 + 3, n_targets=seed % 5)
+        img, truth = render_gray(spec)
+        errors.append(abs(len(detect_blobs(img)) - len(truth)))
+    assert sum(errors) / len(errors) < 1.0
+
+
+def test_signalguru_produces_advisories():
+    s = run_app(SignalGuruApp())
+    m = s.metrics(warmup_s=60.0)
+    rm = m.per_region["region0"]
+    assert rm.output_tuples > 80
+    assert 0.4 < rm.throughput_tps < 1.3  # Table I ballpark: 0.8
+    assert s.trace.value("op_errors") == 0
+
+
+def test_signalguru_svm_trains_online():
+    s = run_app(SignalGuruApp(), duration=600.0)
+    region = s.regions[0]
+    p_node = region.nodes[region.placement.node_for("P", 0)]
+    predictor = p_node.ops["P"]
+    assert predictor.trained > 5  # grouped transitions became examples
+
+
+def test_bcp_cascade_over_regions():
+    s = run_app(BCPApp(), regions=2, duration=500.0)
+    m = s.metrics(warmup_s=100.0)
+    assert m.per_region["region1"].output_tuples > 30
+    # region1 joins its own camera with region0's predictions.
+    assert m.cellular_bytes > 0
+
+
+def test_bcp_with_mobistreams_checkpointing():
+    s = run_app(BCPApp(), scheme=MobiStreamsScheme, duration=700.0)
+    assert s.trace.value("ckpt.region_complete") >= 1
+    m = s.metrics(warmup_s=100.0)
+    assert m.per_region["region0"].output_tuples > 100
+
+
+def test_bcp_recovers_from_counter_failure():
+    cfg = SystemConfig(n_regions=1, phones_per_region=8, idle_per_region=2,
+                       master_seed=3)
+    s = MobiStreamsSystem(cfg, BCPApp(), MobiStreamsScheme)
+    s.start()
+    s.injector.crash_at(350.0, ["region0.p3"])  # a counter phone
+    s.run(700.0)
+    rec = s.trace.last("recovery_finished")
+    assert rec is not None and rec.data["outcome"] == "recovered"
+    post = s.trace.count_of("sink_output", since=420.0)
+    assert post > 30  # stream kept flowing after recovery (catch-up
+    # reprocessing at near-saturation throttles the first minutes)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        BCPParams(camera_period_s=0)
+    with pytest.raises(ValueError):
+        BCPParams(n_counters=0)
+    with pytest.raises(ValueError):
+        SignalGuruParams(camera_period_s=-1)
+    with pytest.raises(ValueError):
+        SignalGuruParams(n_chains=0)

@@ -1,0 +1,75 @@
+"""Tests for the Pegasos linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.apps.signalguru.svm import LinearSVM
+
+
+def separable_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, size=(n, 2))
+    y = np.where(X[:, 0] + 0.5 * X[:, 1] > 0, 1, -1)
+    return X, y
+
+
+def test_learns_separable_data():
+    X, y = separable_data()
+    svm = LinearSVM(2, lam=1e-2).fit(X, y, epochs=20)
+    assert svm.accuracy(X, y) > 0.95
+
+
+def test_generalizes_to_fresh_samples():
+    X, y = separable_data(seed=1)
+    svm = LinearSVM(2, lam=1e-2).fit(X, y, epochs=20)
+    Xt, yt = separable_data(seed=2)
+    assert svm.accuracy(Xt, yt) > 0.9
+
+
+def test_partial_fit_streaming():
+    X, y = separable_data(seed=3)
+    svm = LinearSVM(2, lam=1e-2)
+    for _ in range(10):
+        for xi, yi in zip(X, y):
+            svm.partial_fit(xi, float(yi))
+    assert svm.accuracy(X, y) > 0.9
+
+
+def test_decision_sign_matches_predict():
+    svm = LinearSVM(2)
+    svm.w = np.array([1.0, 0.0])
+    assert svm.predict(np.array([2.0, 0.0])) == 1
+    assert svm.predict(np.array([-2.0, 0.0])) == -1
+    assert svm.decision(np.array([2.0, 0.0])) > 0
+
+
+def test_weight_norm_bounded():
+    """Pegasos projects onto the 1/sqrt(lambda) ball every step."""
+    X, y = separable_data(seed=4)
+    svm = LinearSVM(2, lam=0.1).fit(X, y, epochs=5)
+    assert np.linalg.norm(svm.w) <= 1.0 / np.sqrt(0.1) + 1e-9
+
+
+def test_snapshot_restore_roundtrip():
+    X, y = separable_data(seed=5)
+    svm = LinearSVM(2, lam=1e-2).fit(X, y, epochs=5)
+    snap = svm.snapshot()
+    before = svm.accuracy(X, y)
+    svm.restore(None)
+    assert np.all(svm.w == 0)
+    svm.restore(snap)
+    assert svm.accuracy(X, y) == before
+
+
+def test_input_validation():
+    svm = LinearSVM(3)
+    with pytest.raises(ValueError):
+        svm.partial_fit(np.zeros(2), 1.0)  # wrong feature count
+    with pytest.raises(ValueError):
+        svm.partial_fit(np.zeros(3), 0.5)  # label not +/-1
+    with pytest.raises(ValueError):
+        LinearSVM(0)
+    with pytest.raises(ValueError):
+        LinearSVM(2, lam=0)
+    with pytest.raises(ValueError):
+        svm.fit(np.zeros((4, 3)), np.zeros(5))

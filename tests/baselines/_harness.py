@@ -1,0 +1,76 @@
+"""Shared miniature application for baseline-scheme tests.
+
+A 4-node pipeline ``S -> M1 -> M2 -> K`` with counting (stateful)
+operators, mirroring the harness used by the MobiStreams recovery tests
+so scheme behaviours are directly comparable.
+"""
+
+from repro.core.app import AppSpec
+from repro.core.graph import QueryGraph
+from repro.core.operator import SinkOperator, SourceOperator, StatefulOperator
+from repro.core.placement import Placement
+from repro.core.system import MobiStreamsSystem, SystemConfig
+from repro.util import KB
+
+
+class CountingOp(StatefulOperator):
+    """Counts tuples; the count is checkpointable state."""
+
+    def __init__(self, name, cost=0.05, state_size=128 * KB):
+        super().__init__(name, state_size=state_size)
+        self._cost = cost
+
+    def process(self, tup, ctx):
+        self.state["n"] = self.state.get("n", 0) + 1
+        return [tup.derive({"n": self.state["n"], "v": tup.payload}, 2 * KB)]
+
+    def cost(self, tup):
+        return self._cost
+
+
+class PipelineApp(AppSpec):
+    """S -> M1 -> M2 -> K with ``n`` input tuples, one per ``period``."""
+
+    name = "pipeline"
+
+    def __init__(self, n=200, period=1.0, tuple_kb=4, state_kb=128):
+        self.n = n
+        self.period = period
+        self.tuple_kb = tuple_kb
+        self.state_kb = state_kb
+
+    def build_graph(self):
+        g = QueryGraph()
+        g.add_operator(SourceOperator("S"))
+        g.add_operator(CountingOp("M1", state_size=self.state_kb * KB))
+        g.add_operator(CountingOp("M2", state_size=self.state_kb * KB))
+        g.add_operator(SinkOperator("K"))
+        g.chain("S", "M1", "M2", "K")
+        return g
+
+    def build_placement(self, phone_ids):
+        return Placement.pack_groups([["S"], ["M1"], ["M2"], ["K"]], phone_ids)
+
+    def build_workloads(self, rng, region_index):
+        if region_index != 0:
+            return {}
+
+        def wl():
+            for i in range(self.n):
+                yield (self.period, i, self.tuple_kb * KB)
+
+        return {"S": wl()}
+
+
+def build_system(scheme_factory, idle=4, period=60.0, seed=5, phones=4, app=None):
+    """One-region deployment of :class:`PipelineApp` under a scheme."""
+    cfg = SystemConfig(
+        n_regions=1, phones_per_region=phones, idle_per_region=idle,
+        master_seed=seed, checkpoint_period_s=period,
+    )
+    return MobiStreamsSystem(cfg, app or PipelineApp(), scheme_factory)
+
+
+def sink_seqs(system):
+    """Sequence numbers of every published result."""
+    return [r.data["seq"] for r in system.trace.select("sink_output")]

@@ -1,0 +1,131 @@
+"""Tests for dist-n distributed checkpointing (Cooperative HA / SGuard)."""
+
+import pytest
+
+from repro.baselines.distributed_checkpoint import DistributedCheckpoint
+
+from tests.baselines._harness import build_system, sink_seqs
+
+
+def build(n=1, period=60.0, idle=4, seed=5):
+    return build_system(lambda: DistributedCheckpoint(n, period_s=period),
+                        idle=idle, seed=seed)
+
+
+def test_n_must_be_positive():
+    with pytest.raises(ValueError):
+        DistributedCheckpoint(0)
+
+
+def test_label_matches_figures():
+    assert DistributedCheckpoint(3).name == "dist-3"
+
+
+def test_ring_successors_are_the_next_n_nodes():
+    sys_ = build(n=2)
+    sys_.run(1.0)
+    scheme = sys_.schemes[0]
+    ring = sorted(set(sys_.regions[0].placement.used_nodes()))
+    succ = scheme._ring_successors(ring[0])
+    assert succ == [ring[1], ring[2]]
+    # Wrap-around at the end of the ring.
+    succ_last = scheme._ring_successors(ring[-1])
+    assert succ_last == [ring[0], ring[1]]
+
+
+def test_ring_successors_capped_by_ring_size():
+    sys_ = build(n=10)  # more copies than other nodes exist
+    sys_.run(1.0)
+    scheme = sys_.schemes[0]
+    ring = sorted(set(sys_.regions[0].placement.used_nodes()))
+    succ = scheme._ring_successors(ring[0])
+    assert len(succ) == len(ring) - 1  # never includes the node itself
+    assert ring[0] not in succ
+
+
+def test_copies_land_on_n_other_phones():
+    sys_ = build(n=2)
+    sys_.run(200.0)
+    region = sys_.regions[0]
+    scheme = sys_.schemes[0]
+    m1 = region.placement.node_for("M1", 0)
+    holders = scheme.holders.get(frozenset(region.nodes[m1].op_names), [])
+    assert len(holders) == 2
+    assert m1 not in holders
+    for h in holders:
+        keys = [k for k in region.phones[h].storage.keys()
+                if isinstance(k, tuple) and k[0] == "ckpt" and k[1] == m1]
+        assert keys, f"holder {h} has no copy of {m1}'s state"
+
+
+def test_checkpoint_network_grows_with_n():
+    """Fig. 10b: dist-n sends ~n unicast state copies per period."""
+    volumes = {}
+    for n in (1, 2, 3):
+        sys_ = build(n=n)
+        sys_.run(300.0)
+        volumes[n] = sys_.trace.value("ft.network_bytes")
+    assert volumes[1] < volumes[2] < volumes[3]
+    assert volumes[2] / volumes[1] == pytest.approx(2.0, rel=0.25)
+    assert volumes[3] / volumes[1] == pytest.approx(3.0, rel=0.25)
+
+
+def test_recovers_up_to_n_failures():
+    sys_ = build(n=2)
+    region = sys_.regions[0]
+    hits = [region.placement.node_for("M1", 0), region.placement.node_for("M2", 0)]
+    sys_.injector.crash_at(130.0, hits)
+    sys_.run(420.0)
+    rec = sys_.trace.last("recovery_finished")
+    assert rec is not None and rec.data["outcome"] == "recovered"
+    assert not region.stopped
+    seqs = sink_seqs(sys_)
+    assert len(seqs) == len(set(seqs))
+
+
+def test_failure_beyond_n_is_fatal():
+    """dist-n 'can only handle up to n-node failures' (Fig. 9 cutoff)."""
+    sys_ = build(n=1)
+    region = sys_.regions[0]
+    hits = [region.placement.node_for("M1", 0), region.placement.node_for("M2", 0)]
+    sys_.injector.crash_at(130.0, hits)
+    sys_.run(300.0)
+    assert region.stopped
+
+
+def test_failure_of_node_and_all_its_holders_is_fatal():
+    """The state copy must survive somewhere; losing every holder of a
+    stateful node's MRC makes it unrecoverable even if spares exist."""
+    sys_ = build(n=1, idle=6)
+    region = sys_.regions[0]
+    scheme = sys_.schemes[0]
+    sys_.run(130.0)  # let checkpoints complete
+    m1 = region.placement.node_for("M1", 0)
+    holders = scheme.holders.get(frozenset(region.nodes[m1].op_names), [])
+    assert holders
+    sys_.injector.crash_at(140.0, [m1] + holders[:1])
+    sys_.run(200.0)
+    assert region.stopped
+
+
+def test_state_restored_via_surviving_holder():
+    sys_ = build(n=2)
+    region = sys_.regions[0]
+    hit = region.placement.node_for("M1", 0)
+    sys_.injector.crash_at(130.0, [hit])
+    sys_.run(420.0)
+    node = region.nodes[region.placement.node_for("M1", 0)]
+    assert node.ops["M1"].state.get("n", 0) > 150
+
+
+def test_replacement_comes_from_idle_pool():
+    sys_ = build(n=1)
+    region = sys_.regions[0]
+    idle_before = list(region.idle_ids)
+    hit = region.placement.node_for("M2", 0)
+    sys_.injector.crash_at(130.0, [hit])
+    sys_.run(300.0)
+    new_host = region.placement.node_for("M2", 0)
+    assert new_host != hit
+    assert new_host in idle_before
+    assert new_host not in region.idle_ids

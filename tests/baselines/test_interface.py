@@ -1,0 +1,76 @@
+"""Unit tests for the FaultToleranceScheme interface and NoFT baseline."""
+
+import pytest
+
+from repro.baselines.base import NoFaultTolerance
+from repro.baselines.interface import FaultToleranceScheme
+from repro.core.controller import UNRECOVERABLE
+
+from tests.baselines._harness import PipelineApp, build_system, sink_seqs
+
+
+def test_default_scheme_attributes():
+    s = FaultToleranceScheme()
+    assert s.replication_factor == 1
+    assert s.wants_checkpoint_clock is False
+    assert s.region is None
+
+
+def test_default_failure_hook_is_unrecoverable():
+    assert FaultToleranceScheme().on_failure(["p0"]) == UNRECOVERABLE
+
+
+def test_default_departure_delegates_to_failure():
+    """Prior schemes 'cannot handle node departures' (Section IV-B)."""
+
+    class Probe(FaultToleranceScheme):
+        def on_failure(self, failed_ids):
+            self.seen = failed_ids
+            return "custom"
+
+    p = Probe()
+    assert p.on_departure("p7") == "custom"
+    assert p.seen == ["p7"]
+
+
+def test_chain_active_defaults_to_true():
+    s = FaultToleranceScheme()
+    assert s.chain_active(0)
+    assert s.chain_active(3)
+
+
+def test_counters_feed_trace():
+    sys_ = build_system(NoFaultTolerance)
+    sys_.start()  # attach() binds the scheme to the region's trace
+    scheme = sys_.schemes[0]
+    scheme.count_preserved(100)
+    scheme.count_preserved(50)
+    scheme.count_ft_network(7)
+    assert sys_.trace.value("ft.preserved_bytes") == 150
+    assert sys_.trace.value("ft.network_bytes") == 7
+
+
+# -- NoFaultTolerance -----------------------------------------------------------
+def test_base_runs_with_zero_ft_overhead():
+    sys_ = build_system(NoFaultTolerance)
+    sys_.run(300.0)
+    assert sys_.trace.value("ft.preserved_bytes") == 0
+    assert sys_.trace.value("ft.network_bytes") == 0
+    seqs = sink_seqs(sys_)
+    assert seqs and len(seqs) == len(set(seqs))
+
+
+def test_base_single_failure_is_fatal():
+    sys_ = build_system(NoFaultTolerance)
+    sys_.injector.crash_at(100.0, ["region0.p1"])
+    sys_.run(300.0)
+    assert sys_.regions[0].stopped
+
+
+def test_base_never_recovers_even_with_idle_spares():
+    sys_ = build_system(NoFaultTolerance, idle=8)
+    sys_.injector.crash_at(100.0, ["region0.p2"])
+    sys_.run(300.0)
+    assert sys_.regions[0].stopped
+    rec = sys_.trace.last("recovery_finished")
+    assert rec is not None and rec.data["outcome"] == UNRECOVERABLE

@@ -1,0 +1,106 @@
+"""Tests for rep-2 active standby (the Flux/Borealis baseline)."""
+
+import pytest
+
+from repro.baselines.replication import ActiveStandby
+
+from tests.baselines._harness import PipelineApp, build_system, sink_seqs
+
+
+def build(seed=5, idle=2, k=2):
+    return build_system(lambda: ActiveStandby(k), idle=idle, seed=seed)
+
+
+def test_k_must_be_at_least_two():
+    with pytest.raises(ValueError):
+        ActiveStandby(1)
+
+
+def test_two_chains_run_on_disjoint_phones():
+    sys_ = build()
+    placement = sys_.regions[0].placement
+    assert placement.replication_factor == 2
+    for op in placement.operators():
+        hosts = placement.nodes_for(op)
+        assert len(hosts) == 2
+        assert hosts[0] != hosts[1]
+
+
+def test_faultfree_run_publishes_exactly_once():
+    """Replica chains regenerate every result; sinks must deduplicate."""
+    sys_ = build()
+    sys_.run(300.0)
+    seqs = sink_seqs(sys_)
+    assert len(seqs) == len(set(seqs))
+    assert len(seqs) >= 190  # nearly the whole 200-tuple workload
+
+
+def test_replication_traffic_is_counted():
+    """The duplicated dataflow is rep-2's Fig. 10b network cost."""
+    sys_ = build()
+    sys_.run(300.0)
+    assert sys_.trace.value("ft.network_bytes") > 0
+    # No input preservation at all under replication (Fig. 10a: rep-2 = 0).
+    assert sys_.trace.value("ft.preserved_bytes") == 0
+
+
+def test_single_failure_survived_by_other_chain():
+    sys_ = build()
+    hit = sys_.regions[0].placement.node_for("M1", 0)
+    sys_.injector.crash_at(100.0, [hit])
+    sys_.run(320.0)
+    assert not sys_.regions[0].stopped
+    scheme = sys_.schemes[0]
+    assert 0 in scheme.dead_chains
+    assert scheme.chain_active(1)
+    seqs = sink_seqs(sys_)
+    assert len(seqs) == len(set(seqs))
+    assert len(seqs) >= 190  # the survivor chain keeps publishing
+
+
+def test_second_chain_loss_is_fatal():
+    """rep-2 'can tolerate only single-node failures'."""
+    sys_ = build()
+    placement = sys_.regions[0].placement
+    chain0 = placement.node_for("M1", 0)
+    chain1 = placement.node_for("M2", 1)
+    sys_.injector.crash_at(100.0, [chain0])
+    sys_.injector.crash_at(150.0, [chain1])
+    sys_.run(400.0)
+    assert sys_.regions[0].stopped
+
+
+def test_simultaneous_two_chain_burst_is_fatal():
+    """A burst hitting both chains at once exceeds rep-2's tolerance."""
+    sys_ = build()
+    placement = sys_.regions[0].placement
+    sys_.injector.crash_at(
+        100.0, [placement.node_for("M1", 0), placement.node_for("M1", 1)]
+    )
+    sys_.run(300.0)
+    assert sys_.regions[0].stopped
+
+
+def test_departure_treated_as_chain_loss():
+    """Replication schemes cannot do state transfer; a departure just
+    kills the chain that lost the phone."""
+    sys_ = build()
+    placement = sys_.regions[0].placement
+    gone = placement.node_for("M2", 0)
+    sys_.sim.call_at(100.0, lambda: sys_.apply_departure(gone))
+    sys_.run(320.0)
+    scheme = sys_.schemes[0]
+    assert scheme.dead_chains  # one chain written off
+    assert not sys_.regions[0].stopped  # but the other chain continues
+
+
+def test_takeover_is_fast():
+    """'One of its replicas takes over its work immediately.'"""
+    sys_ = build()
+    hit = sys_.regions[0].placement.node_for("M1", 0)
+    sys_.injector.crash_at(100.0, [hit])
+    sys_.run(320.0)
+    rec = sys_.trace.last("recovery_finished")
+    assert rec is not None
+    assert rec.data["outcome"] == "took-over"
+    assert rec.data["duration"] < 5.0

@@ -1,0 +1,73 @@
+"""Tests for the server-based DSPS comparator (Fig. 1c, Table I)."""
+
+import pytest
+
+from repro.baselines.server_dsps import ServerDSPS, ServerDSPSConfig
+from repro.net.cellular import CellularConfig
+from repro.util.units import Mbps
+
+from tests.baselines._harness import PipelineApp
+
+
+def build(uplink_mbps=0.3, n=100, period=1.0, tuple_kb=30, **cfg_kw):
+    cellular = CellularConfig(
+        uplink_phone_bps=(Mbps(uplink_mbps), Mbps(uplink_mbps)),
+        uplink_capacity_bps=Mbps(max(1.5, uplink_mbps * 4)),
+    )
+    app = PipelineApp(n=n, period=period, tuple_kb=tuple_kb)
+    return ServerDSPS(app, ServerDSPSConfig(cellular=cellular, master_seed=3, **cfg_kw))
+
+
+def test_round_robin_placement_covers_all_operators():
+    dsps = build()
+    assert set(dsps.placement) == {"S", "M1", "M2", "K"}
+    assert all(v.startswith("server") for v in dsps.placement.values())
+
+
+def test_results_flow_end_to_end():
+    dsps = build(uplink_mbps=2.0, tuple_kb=4)
+    dsps.run(200.0)
+    m = dsps.metrics(warmup_s=20.0)
+    assert m.per_region["dc"].output_tuples > 0
+    assert m.per_region["dc"].mean_latency_s > 0
+
+
+def test_uplink_is_the_bottleneck():
+    """Table I's core effect: throughput tracks the uplink, not the CPUs.
+
+    30 KB tuples once per second need 240 kbps; a 0.05 Mbps uplink can
+    carry only ~a fifth of that, so output rate collapses accordingly,
+    while a fat uplink passes everything.  The measurement window is cut
+    to the workload's active span so idle tail time does not dilute the
+    fast deployment's rate.
+    """
+    slow = build(uplink_mbps=0.05, n=200)
+    slow.run(210.0)
+    fast = build(uplink_mbps=2.0, n=200)
+    fast.run(210.0)
+    t_slow = slow.metrics(warmup_s=10.0).per_region["dc"].throughput_tps
+    t_fast = fast.metrics(warmup_s=10.0).per_region["dc"].throughput_tps
+    assert t_fast > 3.0 * t_slow
+
+
+def test_backlog_inflates_latency():
+    """When sensing outpaces the uplink, queueing delay dominates."""
+    slow = build(uplink_mbps=0.05, n=200)
+    slow.run(400.0)
+    fast = build(uplink_mbps=2.0, n=200)
+    fast.run(400.0)
+    l_slow = slow.metrics(warmup_s=50.0).per_region["dc"].mean_latency_s
+    l_fast = fast.metrics(warmup_s=50.0).per_region["dc"].mean_latency_s
+    assert l_slow > 5.0 * l_fast
+
+
+def test_server_speed_barely_matters_when_uplink_bound():
+    """'The fault tolerance function has no impact' — and neither do
+    faster servers: the uplink gates everything."""
+    normal = build(uplink_mbps=0.05, n=150)
+    normal.run(300.0)
+    beefy = build(uplink_mbps=0.05, n=150, server_speed=16.0)
+    beefy.run(300.0)
+    t_normal = normal.metrics(warmup_s=50.0).per_region["dc"].throughput_tps
+    t_beefy = beefy.metrics(warmup_s=50.0).per_region["dc"].throughput_tps
+    assert t_beefy == pytest.approx(t_normal, rel=0.15)

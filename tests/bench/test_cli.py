@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_fault, build_parser, main
+
+
+# -- argument parsing ------------------------------------------------------------
+def test_parse_fault_spec():
+    assert _parse_fault("300:3") == (300.0, [3])
+    assert _parse_fault("120.5:1,2,7") == (120.5, [1, 2, 7])
+
+
+@pytest.mark.parametrize("bad", ["", "300", "abc:1", "300:", "-5:1"])
+def test_parse_fault_rejects_garbage(bad):
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_fault(bad)
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["run"])
+    assert args.app == "bcp"
+    assert args.scheme == "ms-8"
+    assert args.duration == 900.0
+    assert args.crash is None
+
+
+def test_parser_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--scheme", "nope"])
+
+
+def test_parser_bench_artifacts():
+    args = build_parser().parse_args(["bench", "fig8", "--quick"])
+    assert args.artifact == "fig8"
+    assert args.quick
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+# -- end-to-end commands ------------------------------------------------------------
+def test_run_command_reports_metrics(capsys):
+    rc = main(["run", "--app", "bcp", "--scheme", "base",
+               "--duration", "400", "--warmup", "100", "--verbose"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "region0" in out
+    assert "t/s" in out
+    assert "wifi bytes" in out
+
+
+def test_run_command_with_crash(capsys):
+    rc = main(["run", "--app", "bcp", "--scheme", "ms-8",
+               "--duration", "300", "--warmup", "50", "--period", "60",
+               "--idle", "4", "--crash", "120:3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "recoveries: 1" in out
+
+
+def test_run_command_exit_code_on_region_loss(capsys):
+    rc = main(["run", "--app", "bcp", "--scheme", "base",
+               "--duration", "300", "--crash", "120:3"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "STOPPED" in out
+
+
+def test_info_command(capsys):
+    rc = main(["info"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "bcp" in out and "signalguru" in out
+    assert "ms-8" in out and "MobiStreamsScheme" in out

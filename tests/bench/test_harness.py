@@ -1,0 +1,121 @@
+"""Tests for the shared experiment harness behind every bench."""
+
+import pytest
+
+from repro.baselines import (
+    ActiveStandby,
+    DistributedCheckpoint,
+    LocalCheckpoint,
+    NoFaultTolerance,
+)
+from repro.bench.fig8 import SCHEME_ORDER, relative
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentOutcome,
+    format_table,
+    run_experiment,
+    scheme_factories,
+)
+from repro.checkpoint import MobiStreamsScheme
+
+
+def test_scheme_factories_cover_the_figure_labels():
+    factories = scheme_factories()
+    assert list(factories) == SCHEME_ORDER
+    assert isinstance(factories["base"](), NoFaultTolerance)
+    rep = factories["rep-2"]()
+    assert isinstance(rep, ActiveStandby) and rep.replication_factor == 2
+    assert isinstance(factories["local"](), LocalCheckpoint)
+    for n in (1, 2, 3):
+        d = factories[f"dist-{n}"]()
+        assert isinstance(d, DistributedCheckpoint) and d.n == n
+    assert isinstance(factories["ms-8"](), MobiStreamsScheme)
+
+
+def test_factories_return_fresh_instances():
+    f = scheme_factories()["ms-8"]
+    assert f() is not f()
+
+
+def test_unknown_app_rejected():
+    from repro.bench.harness import app_factory
+
+    with pytest.raises(ValueError):
+        app_factory("nope")
+
+
+@pytest.fixture(scope="module")
+def quick_run():
+    return run_experiment(ExperimentConfig(
+        app="bcp", scheme="base", duration_s=400.0, warmup_s=100.0, seed=3,
+        n_regions=1,
+    ))
+
+
+def test_run_experiment_produces_metrics(quick_run):
+    out = quick_run
+    assert isinstance(out, ExperimentOutcome)
+    assert out.throughput > 0
+    assert out.latency > 0
+    assert out.recoveries == 0
+    assert not out.region_stopped
+
+
+def test_run_experiment_is_deterministic(quick_run):
+    again = run_experiment(ExperimentConfig(
+        app="bcp", scheme="base", duration_s=400.0, warmup_s=100.0, seed=3,
+        n_regions=1,
+    ))
+    assert again.throughput == quick_run.throughput
+    assert again.latency == quick_run.latency
+
+
+def test_run_experiment_seed_changes_results():
+    a = run_experiment(ExperimentConfig(
+        app="bcp", scheme="base", duration_s=400.0, warmup_s=100.0, seed=3))
+    b = run_experiment(ExperimentConfig(
+        app="bcp", scheme="base", duration_s=400.0, warmup_s=100.0, seed=4))
+    assert (a.throughput, a.latency) != (b.throughput, b.latency)
+
+
+def test_crash_config_injects_failures():
+    out = run_experiment(ExperimentConfig(
+        app="bcp", scheme="ms-8", duration_s=240.0, warmup_s=20.0, seed=3,
+        idle_per_region=4, checkpoint_period_s=60.0, crash=(100.0, [3]),
+    ))
+    assert out.recoveries >= 1
+    assert not out.region_stopped
+
+
+def test_depart_config_triggers_state_transfer():
+    out = run_experiment(ExperimentConfig(
+        app="bcp", scheme="ms-8", duration_s=240.0, warmup_s=20.0, seed=3,
+        idle_per_region=4, checkpoint_period_s=60.0, depart=(100.0, [3]),
+    ))
+    assert out.report.departures_handled >= 1
+    assert not out.region_stopped
+
+
+def test_relative_normalizes_to_base():
+    base = run_experiment(ExperimentConfig(
+        app="bcp", scheme="base", duration_s=400.0, warmup_s=100.0))
+    rel = relative({"base": base, "other": base})
+    assert rel["base"]["throughput"] == pytest.approx(1.0)
+    assert rel["base"]["latency"] == pytest.approx(1.0)
+    assert rel["other"]["throughput"] == pytest.approx(1.0)
+
+
+# -- format_table -----------------------------------------------------------
+def test_format_table_alignment():
+    txt = format_table(["a", "bee"], [["1", "2"], ["333", "4"]], title="T")
+    lines = txt.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bee" in lines[1]
+    # All rows share the same width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_format_table_stringifies_cells():
+    txt = format_table(["x"], [[3.5], [None]])
+    assert "3.5" in txt and "None" in txt

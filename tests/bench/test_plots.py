@@ -1,0 +1,98 @@
+"""Tests for the text figure renderers."""
+
+import pytest
+
+from repro.bench.plots import bar_chart, fig8_chart, fig9_chart, line_chart
+
+
+# -- bar_chart ---------------------------------------------------------------
+def test_bar_lengths_proportional():
+    chart = bar_chart([("a", 1.0), ("b", 2.0), ("c", 4.0)], width=40)
+    lines = chart.splitlines()
+    lengths = [sum(1 for ch in line if ch == "█") for line in lines]
+    assert lengths[2] == 40  # the max fills the width
+    assert lengths[1] == pytest.approx(20, abs=1)
+    assert lengths[0] == pytest.approx(10, abs=1)
+
+
+def test_bar_chart_values_printed():
+    chart = bar_chart([("x", 1.23)], unit="t/s")
+    assert "1.23t/s" in chart
+    assert "x │" in chart
+
+
+def test_bar_chart_title_and_empty():
+    assert bar_chart([], title="nothing") == "nothing"
+    chart = bar_chart([("a", 1.0)], title="T")
+    assert chart.splitlines()[0] == "T"
+
+
+def test_bar_chart_zero_values():
+    chart = bar_chart([("a", 0.0), ("b", 0.0)])
+    assert "0.00" in chart  # no division-by-zero crash
+
+
+def test_bar_chart_reference_marker():
+    chart = bar_chart([("a", 0.2), ("b", 2.0)], reference=1.0)
+    assert "┊" in chart  # the base=1.0 mark appears in the short bar's row
+
+
+def test_bar_chart_labels_aligned():
+    chart = bar_chart([("ab", 1.0), ("abcdef", 2.0)])
+    lines = chart.splitlines()
+    assert lines[0].index("│") == lines[1].index("│")
+
+
+# -- line_chart ---------------------------------------------------------------
+def test_line_chart_marks_every_series():
+    chart = line_chart({
+        "one": [(0, 1.0), (1, 2.0)],
+        "two": [(0, 2.0), (1, 1.0)],
+    })
+    assert "o one" in chart
+    assert "* two" in chart
+    assert chart.count("o") >= 2  # marker + legend
+
+
+def test_line_chart_dead_points_are_crosses():
+    chart = line_chart({"s": [(0, 1.0), (1, None)]})
+    assert "✗" in chart
+
+
+def test_line_chart_axis_ticks():
+    chart = line_chart({"s": [(0, 1.0), (4, 2.0), (8, 0.5)]},
+                       x_label="n nodes")
+    assert "(n nodes)" in chart
+    last_tick_line = chart.splitlines()[-2]
+    for x in ("0", "4", "8"):
+        assert x in last_tick_line
+
+
+def test_line_chart_empty():
+    assert line_chart({}, title="T") == "T"
+    assert line_chart({"s": []}, title="T") == "T"
+
+
+# -- figure adapters -------------------------------------------------------------
+def test_fig8_chart_renders_both_panels():
+    rel = {
+        "base": {"throughput": 1.0, "latency": 1.0},
+        "ms-8": {"throughput": 0.95, "latency": 1.2},
+    }
+    out = fig8_chart(rel, "bcp", ["base", "ms-8"])
+    assert "relative throughput" in out
+    assert "relative latency" in out
+    assert "ms-8" in out
+
+
+def test_fig9_chart_renders_curves_and_deaths():
+    curves = {
+        "ms-8 failure": [(0, 1.0, 1.0, True), (1, 0.9, 1.2, True)],
+        "dist-1 failure": [(0, 1.0, 1.0, True), (1, 0.8, 1.4, True),
+                           (2, 0.0, 0.0, False)],
+    }
+    out = fig9_chart(curves, "bcp", "throughput")
+    assert "relative throughput" in out
+    assert "✗" in out  # the unrecoverable dist-1 point
+    out_lat = fig9_chart(curves, "bcp", "latency")
+    assert "relative latency" in out_lat

@@ -1,0 +1,136 @@
+"""Property-based and behavioural tests of the broadcast protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint.broadcast import (
+    BroadcastSettings,
+    broadcast_checkpoint,
+    relay_tree,
+)
+from repro.net.loss import BernoulliLoss, NoLoss
+from repro.net.wifi import WifiCell, WifiConfig
+from repro.sim import RngRegistry, Simulator
+from repro.util import KB, Mbps
+
+
+def make_cell(sim, members, loss=0.0, seed=1):
+    cfg = WifiConfig(
+        bandwidth_bps=Mbps(5.0),
+        loss_factory=lambda: BernoulliLoss(loss) if loss else NoLoss(),
+        mean_loss=min(loss, 0.9),
+        header_bytes=0,
+        latency_s=0.0,
+    )
+    cell = WifiCell(sim, RngRegistry(seed), cfg, name="prop")
+    for m in members:
+        cell.join(m, lambda m: None)
+    return cell
+
+
+def run_broadcast(total_size, n_receivers=3, loss=0.0, seed=1):
+    sim = Simulator()
+    members = ["tx"] + [f"r{i}" for i in range(n_receivers)]
+    cell = make_cell(sim, members, loss=loss, seed=seed)
+    proc = sim.process(broadcast_checkpoint(sim, cell, "tx", total_size))
+    sim.run()
+    return proc.value
+
+
+def test_lossless_single_round():
+    out = run_broadcast(64 * KB)
+    assert len(out.rounds) == 1
+    assert out.all_complete
+    assert out.tcp_bytes == 0
+
+
+def test_zero_size_is_noop():
+    out = run_broadcast(0)
+    assert out.n_blocks == 0
+    assert out.rounds == []
+
+
+def test_single_member_cell():
+    sim = Simulator()
+    cell = make_cell(sim, ["tx"])
+    proc = sim.process(broadcast_checkpoint(sim, cell, "tx", 10 * KB))
+    sim.run()
+    assert proc.value.all_complete  # vacuously: no receivers
+
+
+@pytest.mark.parametrize("loss", [0.05, 0.3, 0.6])
+def test_everyone_complete_despite_loss(loss):
+    out = run_broadcast(256 * KB, n_receivers=5, loss=loss, seed=7)
+    assert out.all_complete  # the TCP phase guarantees completion
+    assert out.udp_bytes > 0
+
+
+def test_cost_gain_terminates_udp_under_heavy_loss():
+    """With terrible loss, the UDP phase must stop (cost > gain) and hand
+    over to TCP rather than broadcasting forever."""
+    out = run_broadcast(256 * KB, n_receivers=3, loss=0.9, seed=3)
+    assert len(out.rounds) <= BroadcastSettings().max_rounds
+    assert out.all_complete
+    assert out.tcp_bytes > 0
+
+
+def test_network_bytes_accounting():
+    out = run_broadcast(128 * KB, loss=0.2, seed=5)
+    assert out.network_bytes == out.udp_bytes + out.tcp_bytes
+    # Every round's cost is included in udp_bytes.
+    assert out.udp_bytes >= sum(r.cost_bytes for r in out.rounds) - len(out.rounds)
+
+
+def test_short_last_block_size():
+    out = run_broadcast(100 * KB + 100)
+    assert out.n_blocks == 101
+
+
+def test_receiver_leaving_mid_broadcast_not_complete():
+    sim = Simulator()
+    members = ["tx", "a", "b"]
+    cell = make_cell(sim, members, loss=0.5, seed=2)
+    proc = sim.process(broadcast_checkpoint(sim, cell, "tx", 512 * KB))
+    sim.call_in(0.05, lambda: cell.leave("b"))
+    sim.run()
+    out = proc.value
+    assert out.complete["a"] is True
+    assert out.complete["b"] is False
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size_kb=st.integers(min_value=1, max_value=256),
+    loss=st.floats(min_value=0.0, max_value=0.7),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_broadcast_always_completes_and_counts(size_kb, loss, seed):
+    """Invariant: all present receivers end complete; bytes are positive
+    and bounded by (rounds x blocks + tree retransmissions)."""
+    out = run_broadcast(size_kb * KB, n_receivers=3, loss=loss, seed=seed)
+    assert out.all_complete
+    max_possible = (len(out.rounds) + 4) * (out.n_blocks + 64) * KB
+    assert 0 < out.network_bytes <= max_possible
+
+
+# -- relay tree -------------------------------------------------------------
+def test_relay_tree_shape():
+    tree = relay_tree(list("abcdefg"), fanout=2)
+    assert tree["a"] == ["b", "c"]
+    assert tree["b"] == ["d", "e"]
+    assert tree["c"] == ["f", "g"]
+
+
+def test_relay_tree_spans_all_members():
+    members = [f"m{i}" for i in range(17)]
+    tree = relay_tree(members)
+    seen = {members[0]}
+    stack = [members[0]]
+    while stack:
+        for child in tree[stack.pop()]:
+            assert child not in seen  # tree, not a DAG
+            seen.add(child)
+            stack.append(child)
+    assert seen == set(members)

@@ -1,0 +1,66 @@
+"""Tests for the ablation hooks on the broadcast protocol."""
+
+import pytest
+
+from repro.bench.ablation import _make_cell, _run_broadcast
+from repro.checkpoint.broadcast import BroadcastSettings
+from repro.util.units import KB, MB
+
+
+def test_settings_validation():
+    with pytest.raises(ValueError):
+        BroadcastSettings(block_size=0)
+    with pytest.raises(ValueError):
+        BroadcastSettings(max_rounds=0)
+    with pytest.raises(ValueError):
+        BroadcastSettings(udp_rounds=-1)
+
+
+def test_zero_udp_rounds_is_pure_tcp_tree():
+    sim, cell = _make_cell(4, loss=0.08)
+    out = _run_broadcast(sim, cell, MB, BroadcastSettings(udp_rounds=0))
+    assert out.udp_bytes == 0
+    assert out.tcp_bytes >= 4 * MB  # every receiver got a full TCP copy
+    assert out.all_complete
+
+
+def test_fixed_rounds_override_ignores_cost_gain():
+    """With udp_rounds=8 on a very lossy channel, rounds keep running past
+    the point where cost exceeds gain."""
+    sim, cell = _make_cell(4, loss=0.5)
+    fixed = _run_broadcast(sim, cell, MB, BroadcastSettings(udp_rounds=8))
+    sim2, cell2 = _make_cell(4, loss=0.5)
+    adaptive = _run_broadcast(sim2, cell2, MB, BroadcastSettings())
+    assert len(fixed.rounds) >= len(adaptive.rounds)
+    assert fixed.all_complete and adaptive.all_complete
+
+
+def test_fixed_rounds_still_stop_when_done():
+    """Rounds end early once every receiver has everything."""
+    sim, cell = _make_cell(3, loss=0.0)
+    out = _run_broadcast(sim, cell, MB, BroadcastSettings(udp_rounds=8))
+    assert len(out.rounds) == 1  # lossless: one round suffices
+    assert out.all_complete
+
+
+def test_oversized_blocks_fragment_and_lose_more():
+    """A 64 KB datagram spans ~44 MTU fragments; at 2% fragment loss its
+    delivery probability collapses, so the protocol pays many retries."""
+    sim_small, cell_small = _make_cell(4, loss=0.02)
+    small = _run_broadcast(sim_small, cell_small, 2 * MB,
+                           BroadcastSettings(block_size=KB))
+    sim_big, cell_big = _make_cell(4, loss=0.02)
+    big = _run_broadcast(sim_big, cell_big, 2 * MB,
+                         BroadcastSettings(block_size=64 * KB))
+    assert big.network_bytes > 1.5 * small.network_bytes
+    assert small.all_complete and big.all_complete
+
+
+def test_single_fragment_behaviour_unchanged_at_1kb():
+    """1 KB blocks stay below the MTU: exactly one loss sample each, so
+    per-round reception statistics match the configured loss rate."""
+    sim, cell = _make_cell(1, loss=0.2)
+    out = _run_broadcast(sim, cell, 4 * MB, BroadcastSettings())
+    first = out.rounds[0]
+    # ~80% of the 4096 blocks received in round one (binomial, wide margin).
+    assert 0.7 * 4096 < first.gain_bytes / KB < 0.9 * 4096

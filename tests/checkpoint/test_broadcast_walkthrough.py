@@ -1,0 +1,123 @@
+"""Fig. 6 walk-through: the exact arithmetic of the paper's example.
+
+8 MB of checkpoint data (8192 x 1 KB blocks), four nodes (sender + A, B,
+C), scripted per-round loss:
+
+* round 1: A receives only M1..M3; B all even messages; C all odd.
+* round 2: A and B receive everything; C receives nothing.
+* round 3 (even messages only): C receives all but M2.
+
+Paper numbers: gains 8195 / 12285 / 4095 KB, costs 8195 / 8195 / 4099 KB;
+the sender stops UDP after round 3 because cost (4099) > gain (4095).
+"""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.broadcast import BroadcastSettings, broadcast_checkpoint
+from repro.net.loss import LossModel
+from repro.net.wifi import WifiCell, WifiConfig
+from repro.sim import RngRegistry, Simulator
+from repro.util import KB, MB, Mbps
+
+
+class ScriptedLoss(LossModel):
+    """Replays a fixed list of reception patterns, one per sample() call."""
+
+    def __init__(self, patterns):
+        self.patterns = list(patterns)
+        self.calls = 0
+
+    def sample(self, n, rng):
+        if self.calls < len(self.patterns):
+            pattern = self.patterns[self.calls]
+            self.calls += 1
+            out = pattern(n)
+        else:
+            out = np.ones(n, dtype=bool)
+        return out
+
+
+def fig6_cell(sim):
+    """A 4-node cell with Fig. 6's scripted loss and zero protocol overhead
+    (the paper's arithmetic has no headers)."""
+    n = 8192
+    losses = {
+        # Round 1: first 3 only. Round 2: all.
+        "A": ScriptedLoss([
+            lambda k: np.arange(k) < 3,
+            lambda k: np.ones(k, dtype=bool),
+        ]),
+        # Round 1: even messages M2, M4 ... = indices 1, 3, 5...
+        "B": ScriptedLoss([
+            lambda k: np.arange(k) % 2 == 1,
+            lambda k: np.ones(k, dtype=bool),
+        ]),
+        # Round 1: odd messages (indices 0, 2, ...). Round 2: nothing.
+        # Round 3 (even messages resent): all but M2 (first resent index).
+        "C": ScriptedLoss([
+            lambda k: np.arange(k) % 2 == 0,
+            lambda k: np.zeros(k, dtype=bool),
+            lambda k: np.arange(k) > 0,
+        ]),
+    }
+    # Loss models are created in join order: sender first (never sampled),
+    # then A, B, C with their scripted patterns.
+    scripts = iter([ScriptedLoss([]), losses["A"], losses["B"], losses["C"]])
+    cfg = WifiConfig(
+        bandwidth_bps=Mbps(2.0),
+        loss_factory=lambda: next(scripts),
+        mean_loss=0.0,
+        header_bytes=0,
+        latency_s=0.0,
+    )
+    cell = WifiCell(sim, RngRegistry(0), cfg, name="fig6")
+    cell.join("sender", lambda m: None)
+    for m in ("A", "B", "C"):
+        cell.join(m, lambda m: None)
+    return cell
+
+
+def test_fig6_exact_walkthrough():
+    sim = Simulator()
+    cell = fig6_cell(sim)
+    settings = BroadcastSettings(block_size=KB)
+    proc = sim.process(
+        broadcast_checkpoint(sim, cell, "sender", 8 * MB, settings=settings)
+    )
+    sim.run()
+    outcome = proc.value
+
+    assert outcome.n_blocks == 8192
+    assert len(outcome.rounds) == 3
+
+    r1, r2, r3 = outcome.rounds
+    # Round 1: all 8192 blocks sent; cost 8192 + 3 bitmap KB; gain 8195 KB.
+    assert r1.blocks_sent == 8192
+    assert r1.cost_bytes == 8195 * KB
+    assert r1.gain_bytes == 8195 * KB
+    # Round 2: everything resent (the AND was all-zero).
+    assert r2.blocks_sent == 8192
+    assert r2.cost_bytes == 8195 * KB
+    assert r2.gain_bytes == 12285 * KB
+    # Round 3: the 4096 even messages; cost 4099 > gain 4095 -> stop UDP.
+    assert r3.blocks_sent == 4096
+    assert r3.cost_bytes == 4099 * KB
+    assert r3.gain_bytes == 4095 * KB
+
+    # The TCP tree phase closes the single missing block (M2 on node C).
+    assert outcome.all_complete
+    assert outcome.tcp_bytes >= KB
+
+
+def test_fig6_udp_byte_total():
+    sim = Simulator()
+    cell = fig6_cell(sim)
+    proc = sim.process(
+        broadcast_checkpoint(sim, cell, "sender", 8 * MB,
+                             settings=BroadcastSettings(block_size=KB))
+    )
+    sim.run()
+    outcome = proc.value
+    # 8192 + 8192 + 4096 blocks + 3 KB of bitmaps per round.
+    assert outcome.udp_bytes == (8192 + 8192 + 4096 + 9) * KB

@@ -1,0 +1,154 @@
+"""Chaos tests: randomized fault schedules against MobiStreams.
+
+Property: under *any* schedule of crashes and departures — as long as
+idle spares remain — the region keeps running, never double-publishes a
+result, and loses at most the source-outage windows.  These are the
+system-level invariants behind every Fig. 9 point.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.app import AppSpec
+from repro.core.graph import QueryGraph
+from repro.core.operator import SinkOperator, SourceOperator, StatefulOperator
+from repro.core.placement import Placement
+from repro.core.system import MobiStreamsSystem, SystemConfig
+from repro.util import KB
+
+N_TUPLES = 150
+N_PHONES = 4
+
+
+class CountingOp(StatefulOperator):
+    def __init__(self, name):
+        super().__init__(name, state_size=64 * KB)
+
+    def process(self, tup, ctx):
+        self.state["n"] = self.state.get("n", 0) + 1
+        return [tup.derive(tup.payload, 2 * KB)]
+
+    def cost(self, tup):
+        return 0.03
+
+
+class ChaosApp(AppSpec):
+    name = "chaos"
+
+    def build_graph(self):
+        g = QueryGraph()
+        g.add_operator(SourceOperator("S"))
+        g.add_operator(CountingOp("M1"))
+        g.add_operator(CountingOp("M2"))
+        g.add_operator(SinkOperator("K"))
+        g.chain("S", "M1", "M2", "K")
+        return g
+
+    def build_placement(self, phone_ids):
+        return Placement.pack_groups([["S"], ["M1"], ["M2"], ["K"]], phone_ids)
+
+    def build_workloads(self, rng, region_index):
+        def wl():
+            for i in range(N_TUPLES):
+                yield (1.0, i, 2 * KB)
+        return {"S": wl()}
+
+
+fault_schedules = st.lists(
+    st.tuples(
+        st.sampled_from(["crash", "depart"]),
+        st.floats(min_value=30.0, max_value=250.0),
+        st.integers(min_value=0, max_value=N_PHONES - 1),
+    ),
+    min_size=1, max_size=3,
+)
+
+
+@given(schedule=fault_schedules, seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_any_fault_schedule_preserves_invariants(schedule, seed):
+    cfg = SystemConfig(
+        n_regions=1, phones_per_region=N_PHONES,
+        idle_per_region=2 * len(schedule) + 2,  # always enough spares
+        master_seed=seed, checkpoint_period_s=60.0,
+    )
+    s = MobiStreamsSystem(cfg, ChaosApp(), MobiStreamsScheme)
+    s.start()
+    region = s.regions[0]
+    # Each fault targets whichever phone *currently* hosts the chosen
+    # role at fire time (placements shift as replacements promote).
+    roles = ["S", "M1", "M2", "K"]
+
+    def fire(kind, role):
+        host = region.placement.node_for(role, 0)
+        phone = region.phones.get(host)
+        if phone is None or not phone.alive or not region.wifi.is_member(host):
+            return  # already gone (an earlier fault hit the same role)
+        if kind == "crash":
+            region.apply_crash(host, "chaos")
+        else:
+            region.apply_departure(host)
+
+    for kind, t, role_i in schedule:
+        s.sim.call_at(t, lambda k=kind, r=roles[role_i]: fire(k, r))
+    s.run(600.0)
+
+    assert not region.stopped, "spares were sufficient; region must survive"
+
+    seqs = [r.data["seq"] for r in s.trace.select("sink_output")]
+    # Exactly-once: no sequence number is ever published twice.
+    assert len(seqs) == len(set(seqs))
+    # Completeness: only source-node outage windows may lose data.  Give
+    # each fault a generous recovery allowance.
+    allowed_loss = 60 * len(schedule)
+    assert len(seqs) >= N_TUPLES - allowed_loss
+    # Monotone system state: no node is left with blocked channels.
+    for node in region.nodes.values():
+        assert not node.blocked_channels
+
+
+def test_back_to_back_failures_of_the_same_role():
+    """The replacement of a failed node fails too; the second spare takes
+    over and the stream completes exactly once."""
+    cfg = SystemConfig(n_regions=1, phones_per_region=N_PHONES,
+                       idle_per_region=4, master_seed=5,
+                       checkpoint_period_s=60.0)
+    s = MobiStreamsSystem(cfg, ChaosApp(), MobiStreamsScheme)
+    s.start()
+    region = s.regions[0]
+
+    def crash_m1():
+        host = region.placement.node_for("M1", 0)
+        region.apply_crash(host, "chaos")
+
+    s.sim.call_at(70.0, crash_m1)
+    s.sim.call_at(140.0, crash_m1)
+    s.run(500.0)
+    assert not region.stopped
+    recs = list(s.trace.select("recovery_finished"))
+    assert len(recs) == 2
+    assert all(r.data["outcome"] == "recovered" for r in recs)
+    seqs = [r.data["seq"] for r in s.trace.select("sink_output")]
+    assert len(seqs) == len(set(seqs))
+    assert len(seqs) == N_TUPLES
+
+
+def test_crash_and_departure_in_quick_succession():
+    cfg = SystemConfig(n_regions=1, phones_per_region=N_PHONES,
+                       idle_per_region=4, master_seed=5,
+                       checkpoint_period_s=60.0)
+    s = MobiStreamsSystem(cfg, ChaosApp(), MobiStreamsScheme)
+    s.start()
+    region = s.regions[0]
+    s.sim.call_at(70.0, lambda: region.apply_crash(
+        region.placement.node_for("M1", 0), "chaos"))
+    s.sim.call_at(75.0, lambda: region.apply_departure(
+        region.placement.node_for("M2", 0)))
+    s.run(500.0)
+    assert not region.stopped
+    seqs = [r.data["seq"] for r in s.trace.select("sink_output")]
+    assert len(seqs) == len(set(seqs))
+    assert len(seqs) >= N_TUPLES - 60

@@ -1,0 +1,199 @@
+"""Recovery and mobility tests for the MobiStreams scheme (Sections III-D/E)."""
+
+import pytest
+
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.app import AppSpec
+from repro.core.graph import QueryGraph
+from repro.core.operator import SinkOperator, SourceOperator, StatefulOperator
+from repro.core.placement import Placement
+from repro.core.system import MobiStreamsSystem, SystemConfig
+from repro.util import KB
+
+
+class CountingOp(StatefulOperator):
+    """Counts tuples; state must survive recovery."""
+
+    def __init__(self, name, cost=0.05):
+        super().__init__(name, state_size=128 * KB)
+        self._cost = cost
+
+    def process(self, tup, ctx):
+        self.state["n"] = self.state.get("n", 0) + 1
+        return [tup.derive({"n": self.state["n"], "v": tup.payload}, 2 * KB)]
+
+    def cost(self, tup):
+        return self._cost
+
+
+class StatefulApp(AppSpec):
+    name = "stateful"
+
+    def __init__(self, n=200, period=1.0):
+        self.n = n
+        self.period = period
+
+    def build_graph(self):
+        g = QueryGraph()
+        g.add_operator(SourceOperator("S"))
+        g.add_operator(CountingOp("M1"))
+        g.add_operator(CountingOp("M2"))
+        g.add_operator(SinkOperator("K"))
+        g.chain("S", "M1", "M2", "K")
+        return g
+
+    def build_placement(self, phone_ids):
+        return Placement.pack_groups([["S"], ["M1"], ["M2"], ["K"]], phone_ids)
+
+    def build_workloads(self, rng, region_index):
+        if region_index != 0:
+            return {}
+
+        def wl():
+            for i in range(self.n):
+                yield (self.period, i, 4 * KB)
+
+        return {"S": wl()}
+
+
+def build(idle=4, period=60.0, seed=5):
+    cfg = SystemConfig(
+        n_regions=1, phones_per_region=4, idle_per_region=idle,
+        master_seed=seed, checkpoint_period_s=period,
+    )
+    return MobiStreamsSystem(cfg, StatefulApp(), MobiStreamsScheme)
+
+
+def sink_seqs(s):
+    return [r.data["seq"] for r in s.trace.select("sink_output")]
+
+
+def test_single_failure_recovers_and_continues():
+    s = build()
+    s.injector.crash_at(130.0, ["region0.p1"])  # M1's phone, after ckpt v2
+    s.run(400.0)
+    recs = list(s.trace.select("recovery_finished"))
+    assert len(recs) == 1
+    assert recs[0].data["outcome"] == "recovered"
+    assert not s.regions[0].stopped
+    seqs = sink_seqs(s)
+    # Exactly-once: no duplicate publishes despite catch-up replay.
+    assert len(seqs) == len(set(seqs))
+    # Nothing lost either: the full 200-tuple workload got through.
+    assert len(seqs) == 200
+
+
+def test_burst_failure_of_three_nodes_recovers():
+    """The paper's headline: simultaneous multi-node failures recover.
+
+    Three of the four computing phones (everything but the source) die at
+    once; source preservation + whole-region MRC restore must deliver the
+    complete stream exactly once.
+    """
+    s = build()
+    s.injector.crash_at(130.0, ["region0.p1", "region0.p2", "region0.p3"])
+    s.run(400.0)
+    recs = list(s.trace.select("recovery_finished"))
+    assert len(recs) == 1
+    assert recs[0].data["outcome"] == "recovered"
+    assert sorted(recs[0].data["failed"]) == [
+        "region0.p1", "region0.p2", "region0.p3"
+    ]
+    assert not s.regions[0].stopped
+    seqs = sink_seqs(s)
+    assert len(seqs) == len(set(seqs))
+    assert len(seqs) == 200
+
+
+def test_source_node_failure_loses_only_outage_window():
+    """Sensed data has nowhere to go while the source phone is dead —
+    the paper's source preservation starts at ingest, not at the sensor.
+    The stream must still resume exactly-once after recovery."""
+    s = build()
+    s.injector.crash_at(130.0, ["region0.p0"])  # the source node
+    s.run(400.0)
+    rec = s.trace.last("recovery_finished")
+    assert rec is not None and rec.data["outcome"] == "recovered"
+    seqs = sink_seqs(s)
+    assert len(seqs) == len(set(seqs))  # still exactly-once
+    # Everything sensed before the crash and after the recovery arrives.
+    recovered_at = rec.time
+    assert max(seqs) == 199
+    lost = 200 - len(seqs)
+    assert 0 < lost <= (recovered_at - 130.0) / 1.0 + 2
+
+
+def test_failure_without_replacements_bypasses_region():
+    s = build(idle=0)
+    s.injector.crash_at(100.0, ["region0.p1"])
+    s.run(300.0)
+    assert s.regions[0].stopped
+
+
+def test_state_survives_recovery():
+    """Post-recovery counters continue from the checkpoint, not zero."""
+    s = build()
+    s.injector.crash_at(130.0, ["region0.p1"])
+    s.run(400.0)
+    # M1's counter state after the run reflects all processed tuples:
+    # the replacement restored from MRC and replayed the preserved input.
+    region = s.regions[0]
+    m1_node = region.nodes[region.placement.node_for("M1", 0)]
+    final_count = m1_node.ops["M1"].state.get("n", 0)
+    # Without restoration the count would restart near zero at t=130 and
+    # end around 70; with MRC restore + replay it covers all 200 tuples.
+    assert final_count > 150
+
+
+def test_recovery_duration_reasonable():
+    s = build()
+    s.injector.crash_at(130.0, ["region0.p1"])
+    s.run(400.0)
+    rec = s.trace.last("recovery_finished")
+    # Detection is separate; the restore itself is seconds, not minutes
+    # ("restoration in MobiStreams scales" — parallel flash reads).
+    assert rec.data["duration"] < 60.0
+
+
+def test_departure_transfers_state_without_catchup():
+    s = build()
+    s.sim.call_at(130.0, lambda: s.apply_departure("region0.p1"))
+    s.run(400.0)
+    dep = list(s.trace.select("departure_state_transfer"))
+    assert len(dep) == 1
+    assert dep[0].data["departed"] == "region0.p1"
+    # Departures must not trigger checkpoint restoration / catch-up.
+    assert not any(True for _ in s.trace.select("catchup_started"))
+    assert not s.regions[0].stopped
+    seqs = sink_seqs(s)
+    assert len(seqs) == len(set(seqs))
+    assert len(seqs) == 200
+
+
+def test_departed_phone_is_unregistered():
+    s = build()
+    s.sim.call_at(130.0, lambda: s.apply_departure("region0.p1"))
+    s.run(300.0)
+    assert "region0.p1" not in s.regions[0].phones
+    assert not s.cellular.is_registered("region0.p1")
+
+
+def test_idle_departure_is_silent():
+    s = build()
+    s.sim.call_at(100.0, lambda: s.apply_departure("region0.idle0"))
+    s.run(300.0)
+    assert not any(True for _ in s.trace.select("departure_state_transfer"))
+    assert not s.regions[0].stopped
+
+
+def test_failure_during_checkpoint_recovers_from_previous_mrc():
+    """Partial checkpoint data is ignored (Section III-D)."""
+    s = build(period=100.0)
+    # Crash right when checkpoint v2 starts (t=200): v2 is incomplete.
+    s.injector.crash_at(200.5, ["region0.p1", "region0.p2"])
+    s.run(450.0)
+    rec = s.trace.last("recovery_finished")
+    assert rec is not None and rec.data["outcome"] == "recovered"
+    seqs = sink_seqs(s)
+    assert len(seqs) == len(set(seqs))
+    assert not s.regions[0].stopped

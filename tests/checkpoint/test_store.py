@@ -1,0 +1,101 @@
+"""Tests for checkpoint and preservation stores."""
+
+import pytest
+
+from repro.checkpoint.store import CheckpointStore, PreservationStore
+from repro.core.tuples import StreamTuple
+
+
+def tup(size=100, seq=0):
+    return StreamTuple(payload=None, size=size, entered_at=0.0, source_seq=seq)
+
+
+# -- CheckpointStore ------------------------------------------------------
+def test_version_completes_when_all_nodes_saved():
+    st = CheckpointStore()
+    st.begin_version(1, ["n0", "n1"])
+    assert not st.put(1, "n0", frozenset({"A"}), {"A": 1}, 100)
+    assert st.put(1, "n1", frozenset({"B"}), {"B": 2}, 200)
+    assert st.is_complete(1)
+    assert st.mrc_version == 1
+
+
+def test_mrc_ignores_partial_versions():
+    st = CheckpointStore()
+    st.begin_version(1, ["n0"])
+    st.put(1, "n0", frozenset({"A"}), "s1", 10)
+    st.begin_version(2, ["n0", "n1"])
+    st.put(2, "n0", frozenset({"A"}), "s2", 10)  # n1 never saves (failed)
+    assert st.mrc_version == 1
+    assert st.states_at_mrc() == {frozenset({"A"}): ("s1", 10)}
+
+
+def test_initial_mrc_is_zero():
+    st = CheckpointStore()
+    assert st.mrc_version == 0
+    assert st.states_at_mrc() == {}
+
+
+def test_prune_drops_older_versions():
+    st = CheckpointStore()
+    for v in (1, 2):
+        st.begin_version(v, ["n0"])
+        st.put(v, "n0", frozenset({"A"}), f"s{v}", 10)
+    assert st.mrc_version == 2
+    assert st.state_for(1, frozenset({"A"})) is None  # pruned
+    assert st.state_for(2, frozenset({"A"})) == ("s2", 10)
+
+
+def test_state_for_missing():
+    st = CheckpointStore()
+    assert st.state_for(5, frozenset({"X"})) is None
+
+
+# -- PreservationStore -----------------------------------------------------
+def test_record_and_replay():
+    ps = PreservationStore()
+    ps.record("S1", tup(size=10, seq=0))
+    ps.start_segment(1)
+    ps.record("S1", tup(size=20, seq=1))
+    assert ps.retained_count() == 2
+    assert ps.total_bytes == 30
+    # Restoring to MRC 0 replays everything.
+    assert len(ps.replay_from(0)) == 2
+    # Restoring to MRC 1 replays only the post-cut segment.
+    replay = ps.replay_from(1)
+    assert len(replay) == 1
+    assert replay[0][1].source_seq == 1
+
+
+def test_checkpoint_complete_prunes_segments():
+    ps = PreservationStore()
+    ps.record("S1", tup(size=10))
+    ps.start_segment(1)
+    ps.record("S1", tup(size=20))
+    ps.on_checkpoint_complete(1)
+    assert ps.retained_count() == 1
+    assert ps.total_bytes == 20
+    assert ps.replay_from(0) == ps.replay_from(1)
+
+
+def test_replay_order_preserved():
+    ps = PreservationStore()
+    for i in range(5):
+        ps.record("S1", tup(seq=i))
+    seqs = [t.source_seq for _op, t in ps.replay_from(0)]
+    assert seqs == [0, 1, 2, 3, 4]
+
+
+def test_segment_version_monotone():
+    ps = PreservationStore()
+    ps.start_segment(2)
+    with pytest.raises(ValueError):
+        ps.start_segment(1)
+
+
+def test_multiple_sources_interleaved():
+    ps = PreservationStore()
+    ps.record("S0", tup(seq=0))
+    ps.record("S1", tup(seq=1))
+    ops = [op for op, _t in ps.replay_from(0)]
+    assert ops == ["S0", "S1"]

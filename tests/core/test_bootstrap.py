@@ -1,0 +1,149 @@
+"""Tests for the Section III-A startup protocol."""
+
+import pytest
+
+from repro.baselines import NoFaultTolerance
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.bootstrap import BootstrapConfig, Bootstrapper
+from repro.core.system import MobiStreamsSystem, SystemConfig
+
+from tests.baselines._harness import PipelineApp, sink_seqs
+
+
+def make_system(n_regions=1, scheme=NoFaultTolerance, phones=4, idle=2, seed=5):
+    cfg = SystemConfig(n_regions=n_regions, phones_per_region=phones,
+                       idle_per_region=idle, master_seed=seed,
+                       checkpoint_period_s=60.0)
+    return MobiStreamsSystem(cfg, PipelineApp(), scheme)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BootstrapConfig(dwell_s=-1.0)
+    with pytest.raises(ValueError):
+        BootstrapConfig(min_phones=0)
+
+
+def test_phones_register_after_dwell():
+    s = make_system()
+    boot = s.start_staged(BootstrapConfig(dwell_s=10.0))
+    s.run(5.0)
+    assert not any(True for _ in s.trace.select("phone_registered"))
+    s.run(20.0)
+    regs = list(s.trace.select("phone_registered"))
+    assert len(regs) == 6  # 4 compute + 2 idle
+    assert all(r.time >= 10.0 for r in regs)
+
+
+def test_region_boots_and_processes():
+    s = make_system()
+    boot = s.start_staged(BootstrapConfig(dwell_s=10.0))
+    s.run(400.0)
+    rec = boot.records["region0"]
+    assert not rec.skipped
+    assert rec.t_ready is not None
+    seqs = sink_seqs(s)
+    assert seqs and len(seqs) == len(set(seqs))
+
+
+def test_boot_takes_about_a_minute_not_more():
+    """Paper: 'it takes about 1 minute to start' (4 regions).
+
+    Dwell (10 s) + registration + 256 KB code bundle per phone over the
+    shared cellular downlink + WiFi mesh — tens of seconds, well under
+    two minutes.
+    """
+    s = make_system(n_regions=4)
+    boot = s.start_staged(BootstrapConfig(dwell_s=10.0))
+    s.run(300.0)
+    t = boot.max_boot_time()
+    assert 10.0 < t < 120.0
+
+
+def test_boot_time_independent_of_region_count():
+    """Regions boot in parallel: 4 regions ≈ 1 region boot time."""
+    times = {}
+    for n in (1, 4):
+        s = make_system(n_regions=n)
+        boot = s.start_staged(BootstrapConfig(dwell_s=10.0))
+        s.run(300.0)
+        times[n] = boot.max_boot_time()
+    assert times[4] < 2.0 * times[1]
+
+
+def test_checkpoint_clock_armed_after_staged_boot():
+    s = make_system(scheme=MobiStreamsScheme)
+    s.start_staged(BootstrapConfig(dwell_s=5.0))
+    s.run(200.0)
+    assert any(True for _ in s.trace.select("checkpoint_requested"))
+
+
+def test_staged_start_claims_the_one_shot_start():
+    s = make_system()
+    s.start_staged()
+    with pytest.raises(RuntimeError):
+        s.start()
+    with pytest.raises(RuntimeError):
+        s.start_staged()
+
+
+def test_underpopulated_region_is_skipped_and_bypassed():
+    """A 3-region cascade whose middle region never reaches the phone
+    threshold: the cascade routes around it (Section III-A)."""
+    s = make_system(n_regions=3)
+    # Phones of region1 never arrive (arrival beyond the deadline).
+    arrivals = {pid: 10_000.0 for pid in s.regions[1].phones}
+    boot = s.start_staged(
+        BootstrapConfig(dwell_s=5.0, deadline_s=60.0), arrivals=arrivals)
+    s.run(400.0)
+    assert boot.records["region1"].skipped
+    assert boot.records["region0"].t_ready is not None
+    assert boot.records["region2"].t_ready is not None
+    # region0 now feeds region2 directly.
+    downs = s.regions[0].downstream_regions()
+    assert s.regions[2] in downs and s.regions[1] not in downs
+    # End-to-end data still arrives at the final region.
+    outs = [r for r in s.trace.select("sink_output")
+            if r.data["region"] == "region2"]
+    assert outs
+
+
+def test_skipped_region_boots_when_phones_arrive_late():
+    s = make_system(n_regions=3)
+    arrivals = {pid: 150.0 for pid in s.regions[1].phones}
+    boot = s.start_staged(
+        BootstrapConfig(dwell_s=5.0, deadline_s=60.0), arrivals=arrivals)
+    s.run(100.0)
+    assert boot.records["region1"].skipped
+    s.run(300.0)
+    rec = boot.records["region1"]
+    assert not rec.skipped
+    assert rec.t_ready is not None
+    # Cascade restored: region0 -> region1 -> region2.
+    assert s.regions[1] in s.regions[0].downstream_regions()
+    assert s.regions[1] not in [s.regions[2]] and \
+        s.regions[2] in s.regions[1].downstream_regions()
+
+
+def test_late_phone_registration_api():
+    s = make_system(n_regions=1)
+    arrivals = {pid: 10_000.0 for pid in s.regions[0].phones}
+    boot = s.start_staged(
+        BootstrapConfig(dwell_s=5.0, deadline_s=30.0), arrivals=arrivals)
+    s.run(60.0)
+    assert boot.records["region0"].skipped
+    for pid in list(s.regions[0].phones):
+        boot.register_late_phone(0, pid)
+    s.run(100.0)
+    assert boot.records["region0"].t_ready is not None
+    with pytest.raises(KeyError):
+        boot.register_late_phone(0, "nope")
+
+
+def test_dead_phone_never_registers():
+    s = make_system()
+    s.regions[0].phones["region0.p1"].alive = False
+    boot = s.start_staged(BootstrapConfig(dwell_s=5.0))
+    s.run(60.0)
+    regs = [r.data["phone"] for r in s.trace.select("phone_registered")]
+    assert "region0.p1" not in regs

@@ -1,0 +1,113 @@
+"""Tests for the controller's detection and orchestration (Section III-D)."""
+
+import pytest
+
+from repro.baselines import NoFaultTolerance
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.controller import UNRECOVERABLE, ControllerConfig
+from repro.core.system import MobiStreamsSystem, SystemConfig
+
+from tests.baselines._harness import PipelineApp, build_system
+
+
+def test_controller_config_validation():
+    with pytest.raises(ValueError):
+        ControllerConfig(ping_period_s=0)
+    with pytest.raises(ValueError):
+        ControllerConfig(ping_timeout_s=-1)
+
+
+def test_ping_loop_detects_dead_source_node():
+    """The controller pings source nodes over cellular; a silent source
+    is declared failed within ~ping period + timeout."""
+    sys_ = build_system(MobiStreamsScheme, period=60.0)
+    sys_.start()
+    src = sys_.regions[0].placement.node_for("S", 0)
+    # Kill the source silently: its downstream neighbours don't probe it
+    # (they are downstream), so only the controller ping can find it.
+    sys_.injector.crash_at(100.0, [src])
+    sys_.run(250.0)
+    reported = [r for r in sys_.trace.select("failure_reported")
+                if r.data["phone"] == src]
+    assert reported
+    # 30 s ping period + 10 s timeout (+ scheduling slack).
+    assert reported[0].time <= 100.0 + 30.0 + 10.0 + 10.0
+
+
+def test_burst_reports_coalesce_into_one_recovery():
+    sys_ = build_system(MobiStreamsScheme, period=60.0)
+    sys_.start()
+    region = sys_.regions[0]
+    hits = [region.placement.node_for("M1", 0),
+            region.placement.node_for("M2", 0),
+            region.placement.node_for("K", 0)]
+    sys_.injector.crash_at(130.0, hits)
+    sys_.run(400.0)
+    recs = list(sys_.trace.select("recovery_started"))
+    assert len(recs) == 1
+    assert sorted(recs[0].data["failed"]) == sorted(hits)
+
+
+def test_departure_confirm_escalates_if_phone_dies_meanwhile():
+    """A departure report whose phone dies during GPS confirmation is
+    escalated to a failure (Section III-E's special case)."""
+    sys_ = build_system(MobiStreamsScheme, period=60.0)
+    sys_.start()
+    region = sys_.regions[0]
+    gone = region.placement.node_for("M1", 0)
+    # Break WiFi (departure report) then crash before confirmation (2 s).
+    sys_.sim.call_at(100.0, lambda: region.wifi.leave(gone))
+    sys_.sim.call_at(100.5, lambda: region.apply_crash(gone, "died leaving"))
+    sys_.run(300.0)
+    # Handled as a failure (recovery), not a state transfer.
+    assert not any(True for _ in sys_.trace.select("departure_state_transfer"))
+    rec = sys_.trace.last("recovery_finished")
+    assert rec is not None and rec.data["outcome"] == "recovered"
+
+
+def test_unrecoverable_outcome_stops_and_bypasses_region():
+    sys_ = build_system(NoFaultTolerance)
+    sys_.start()
+    sys_.injector.crash_at(100.0, ["region0.p1"])
+    sys_.run(200.0)
+    assert sys_.regions[0].stopped
+    rec = sys_.trace.last("recovery_finished")
+    assert rec.data["outcome"] == UNRECOVERABLE
+
+
+def test_checkpoint_clock_fires_every_period():
+    sys_ = build_system(MobiStreamsScheme, period=50.0)
+    sys_.run(270.0)
+    reqs = list(sys_.trace.select("checkpoint_requested"))
+    assert len(reqs) == 5  # t ≈ 50, 100, 150, 200, 250
+    gaps = [b.time - a.time for a, b in zip(reqs, reqs[1:])]
+    assert all(abs(g - 50.0) < 1.0 for g in gaps)
+
+
+def test_checkpoint_clock_rejects_bad_period():
+    sys_ = build_system(MobiStreamsScheme)
+    sys_.start()
+    with pytest.raises(ValueError):
+        sys_.controller.start_checkpoint_clock(sys_.regions[0], 0.0)
+
+
+def test_failed_phones_unregister_from_cellular():
+    sys_ = build_system(MobiStreamsScheme, period=60.0)
+    sys_.start()
+    hit = sys_.regions[0].placement.node_for("M2", 0)
+    sys_.injector.crash_at(130.0, [hit])
+    sys_.run(300.0)
+    assert not sys_.cellular.is_registered(hit)
+
+
+def test_duplicate_failure_reports_are_ignored():
+    sys_ = build_system(MobiStreamsScheme, period=60.0)
+    sys_.start()
+    region = sys_.regions[0]
+    hit = region.placement.node_for("M1", 0)
+    sys_.injector.crash_at(130.0, [hit])
+    # File extra manual reports for the same phone.
+    sys_.sim.call_at(131.0, lambda: sys_.controller.on_failure_report(region, hit))
+    sys_.sim.call_at(132.0, lambda: sys_.controller.on_failure_report(region, hit))
+    sys_.run(400.0)
+    assert len(list(sys_.trace.select("recovery_started"))) == 1

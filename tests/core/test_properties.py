@@ -1,0 +1,165 @@
+"""Property-based tests on the core data structures.
+
+Invariants, not examples: random DAGs, random placements, random
+checkpoint/preservation interleavings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint.store import CheckpointStore, PreservationStore
+from repro.core.graph import GraphError, QueryGraph
+from repro.core.operator import MapOperator, SinkOperator, SourceOperator
+from repro.core.placement import Placement
+from repro.core.tuples import StreamTuple
+from repro.device.storage import FlashStorage, StorageFull
+
+
+# -- random layered DAGs --------------------------------------------------------
+@st.composite
+def layered_graphs(draw):
+    """A random source->layers->sink DAG that always validates."""
+    n_layers = draw(st.integers(min_value=1, max_value=4))
+    widths = [draw(st.integers(min_value=1, max_value=3)) for _ in range(n_layers)]
+    g = QueryGraph()
+    g.add_operator(SourceOperator("S"))
+    names = [["S"]]
+    for li, w in enumerate(widths):
+        layer = []
+        for i in range(w):
+            name = f"L{li}_{i}"
+            g.add_operator(MapOperator(name, lambda x: x))
+            layer.append(name)
+        names.append(layer)
+    g.add_operator(SinkOperator("K"))
+    names.append(["K"])
+    # Every operator gets >= 1 upstream edge from the previous layer...
+    edges = set()
+    for prev, layer in zip(names, names[1:]):
+        for op in layer:
+            ups = draw(st.sets(st.sampled_from(prev), min_size=1))
+            for u in ups:
+                edges.add((u, op))
+    # ...and >= 1 downstream edge into the next layer (reaches a sink).
+    for layer, nxt in zip(names[:-1], names[1:]):
+        for op in layer:
+            if not any(e[0] == op for e in edges):
+                down = draw(st.sampled_from(nxt))
+                edges.add((op, down))
+    for u, v in sorted(edges):
+        g.connect(u, v)
+    return g
+
+
+@given(layered_graphs())
+@settings(max_examples=30, deadline=None)
+def test_layered_graphs_always_validate(g):
+    g.validate()
+    order = g.topological_order()
+    pos = {n: i for i, n in enumerate(order)}
+    for u, v in g.edges():
+        assert pos[u] < pos[v]
+
+
+@given(layered_graphs(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_contiguous_placement_never_creates_node_cycles(g, n_phones):
+    """pack_groups merges adjacent topological groups, which can never
+    introduce a node-level cycle on a layered DAG."""
+    groups = [[name] for name in g.topological_order()]
+    phones = [f"p{i}" for i in range(n_phones)]
+    placement = Placement.pack_groups(groups, phones)
+    placement.validate(g, phones)  # includes node-graph acyclicity
+
+
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_replication_keeps_chains_on_distinct_phones(n_phones, factor):
+    if factor > n_phones:
+        return
+    phones = [f"p{i}" for i in range(n_phones)]
+    base = Placement.from_groups({phones[0]: ["a"], phones[1 % n_phones]: ["b"]})
+    replicated = base.replicate(phones, factor)
+    for op in replicated.operators():
+        hosts = replicated.nodes_for(op)
+        assert len(hosts) == factor
+        assert len(set(hosts)) == factor  # a failure never kills 2 chains
+
+
+# -- checkpoint store invariants ---------------------------------------------------
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=4),   # version
+                          st.integers(min_value=0, max_value=2)),  # node
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_mrc_is_monotone_and_complete(puts):
+    nodes = ["n0", "n1", "n2"]
+    store = CheckpointStore()
+    for v in (1, 2, 3, 4):
+        store.begin_version(v, nodes)
+    mrc_history = [store.mrc_version]
+    for version, node_i in puts:
+        store.put(version, nodes[node_i], frozenset([f"op{node_i}"]), {}, 1)
+        mrc_history.append(store.mrc_version)
+    # The MRC never moves backwards...
+    assert all(a <= b for a, b in zip(mrc_history, mrc_history[1:]))
+    # ...and is only ever a complete version.
+    if store.mrc_version > 0:
+        assert store.is_complete(store.mrc_version)
+        # Every participant's state is present at the MRC.
+        assert len(store.states_at_mrc()) == len(nodes)
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("record"), st.integers(min_value=1, max_value=1000)),
+    st.tuples(st.just("segment"), st.integers(min_value=1, max_value=5)),
+    st.tuples(st.just("complete"), st.integers(min_value=1, max_value=5)),
+), max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_preservation_bytes_always_match_retained_tuples(ops):
+    store = PreservationStore()
+    segment = 0
+    for kind, arg in ops:
+        if kind == "record":
+            store.record("S", StreamTuple(payload=None, size=arg, entered_at=0.0))
+        elif kind == "segment":
+            segment = max(segment, arg)
+            store.start_segment(segment)
+        else:
+            store.on_checkpoint_complete(arg)
+        # Invariant: the byte counter equals the retained tuples' sizes.
+        retained = sum(t.size for _op, t in store.replay_from(0))
+        assert store.total_bytes == retained
+        assert store.retained_count() == len(store.replay_from(0))
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=9),   # key
+                          st.integers(min_value=0, max_value=500)),  # size
+                max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_flash_accounting_exact_under_overwrites(ops):
+    storage = FlashStorage(capacity_bytes=100_000)
+    shadow = {}
+    for key, size in ops:
+        storage.write(key, size)
+        shadow[key] = size
+        assert storage.used_bytes == sum(shadow.values())
+        assert storage.free_bytes == 100_000 - storage.used_bytes
+    for key in list(shadow):
+        storage.delete(key)
+        del shadow[key]
+        assert storage.used_bytes == sum(shadow.values())
+    assert storage.used_bytes == 0
+
+
+@given(st.integers(min_value=1, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_flash_never_exceeds_capacity(size):
+    storage = FlashStorage(capacity_bytes=50)
+    if size <= 50:
+        storage.write("a", size)
+        assert storage.used_bytes == size
+    else:
+        with pytest.raises(StorageFull):
+            storage.write("a", size)
+        assert storage.used_bytes == 0

@@ -1,0 +1,58 @@
+"""Tests for tuples and tokens."""
+
+import pytest
+
+from repro.core.tuples import CatchupEnd, StreamTuple, Token
+
+
+def test_tuple_basics():
+    t = StreamTuple(payload={"x": 1}, size=100, entered_at=5.0, source_seq=3)
+    assert t.size == 100
+    assert not t.replay
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        StreamTuple(payload=None, size=-1, entered_at=0.0)
+
+
+def test_derive_inherits_lineage():
+    t = StreamTuple(payload=1, size=10, entered_at=2.0, source_seq=7, lineage=("S1", 7))
+    d = t.derive(payload=2, size=20)
+    assert d.entered_at == 2.0
+    assert d.source_seq == 7
+    assert d.lineage == ("S1", 7)
+    assert d.size == 20
+    assert d.uid != t.uid
+
+
+def test_as_replay():
+    t = StreamTuple(payload=1, size=10, entered_at=0.0)
+    r = t.as_replay()
+    assert r.replay and not t.replay
+    assert r.uid != t.uid
+
+
+def test_uids_monotone():
+    a = StreamTuple(payload=None, size=0, entered_at=0.0)
+    b = StreamTuple(payload=None, size=0, entered_at=0.0)
+    assert b.uid > a.uid
+
+
+def test_token_forwarding():
+    t = Token(version=3, origin="nodeA")
+    f = t.forwarded_by("nodeB")
+    assert f.version == 3
+    assert f.origin == "nodeB"
+    assert f.size == t.size
+
+
+def test_token_is_small():
+    """The paper: token overhead < 1% of tuple size (tuples are images)."""
+    t = Token(version=1, origin="x")
+    assert t.size < 0.01 * 100 * 1024
+
+
+def test_catchup_end_marker():
+    m = CatchupEnd(recovery_id=2)
+    assert m.size > 0

@@ -1,0 +1,71 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.device import Battery, BatteryConfig
+
+
+def test_full_battery():
+    b = Battery()
+    assert b.fraction == 1.0
+    assert not b.is_critical
+    assert not b.is_dead
+
+
+def test_partial_charge():
+    b = Battery(charge_fraction=0.5)
+    assert b.fraction == 0.5
+
+
+def test_invalid_charge_fraction():
+    with pytest.raises(ValueError):
+        Battery(charge_fraction=1.5)
+
+
+def test_drain_and_death():
+    b = Battery(BatteryConfig(capacity_j=100.0))
+    b.drain(60)
+    assert b.fraction == pytest.approx(0.4)
+    b.drain(1000)  # clamps at zero
+    assert b.is_dead
+
+
+def test_drain_negative_raises():
+    with pytest.raises(ValueError):
+        Battery().drain(-1)
+
+
+def test_critical_threshold():
+    b = Battery(BatteryConfig(capacity_j=100.0, critical_fraction=0.1))
+    b.drain(89)
+    assert not b.is_critical
+    b.drain(2)
+    assert b.is_critical
+
+
+def test_component_drains():
+    cfg = BatteryConfig(
+        capacity_j=1000.0,
+        idle_w=1.0,
+        cpu_w=2.0,
+        wifi_j_per_byte=0.01,
+        cellular_j_per_byte=0.05,
+    )
+    b = Battery(cfg)
+    b.drain_idle(10)       # 10 J
+    b.drain_cpu(5)         # 10 J
+    b.drain_wifi(100)      # 1 J
+    b.drain_cellular(100)  # 5 J
+    assert b.remaining_j == pytest.approx(1000 - 26)
+
+
+def test_cellular_costs_more_than_wifi():
+    cfg = BatteryConfig()
+    assert cfg.cellular_j_per_byte > cfg.wifi_j_per_byte
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BatteryConfig(capacity_j=0)
+    with pytest.raises(ValueError):
+        BatteryConfig(critical_fraction=1.0)

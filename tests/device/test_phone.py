@@ -1,0 +1,57 @@
+"""Tests for the phone model."""
+
+import pytest
+
+from repro.device import Phone, PhoneConfig
+from repro.net import Position
+from repro.sim import RngRegistry
+
+
+def test_defaults():
+    p = Phone("p1", Position(0, 0))
+    assert p.alive
+    assert p.config.cpu_speed == 1.0
+    assert p.battery.fraction == 1.0
+
+
+def test_compute_time_scales_with_cpu_speed():
+    slow = Phone("s", Position(0, 0), PhoneConfig(cpu_speed=1.0))
+    fast = Phone("f", Position(0, 0), PhoneConfig(cpu_speed=2.0))
+    assert slow.compute_time(10.0) == 10.0
+    assert fast.compute_time(10.0) == 5.0
+
+
+def test_compute_time_negative_raises():
+    with pytest.raises(ValueError):
+        Phone("p", Position(0, 0)).compute_time(-1)
+
+
+def test_crash():
+    p = Phone("p", Position(0, 0))
+    p.crash()
+    assert not p.alive
+
+
+def test_gps_reading_noisy_but_close():
+    rng = RngRegistry(42)
+    p = Phone("p", Position(100, 200), PhoneConfig(gps_noise_m=3.0))
+    readings = [p.gps_reading(rng) for _ in range(100)]
+    from repro.net import distance
+
+    errors = [distance(r, p.position) for r in readings]
+    assert max(errors) < 20  # ~5 sigma
+    assert sum(errors) / len(errors) > 0.5  # actually noisy
+
+
+def test_gps_deterministic_per_seed():
+    p = Phone("p", Position(0, 0))
+    a = p.gps_reading(RngRegistry(7))
+    b = p.gps_reading(RngRegistry(7))
+    assert a == b
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PhoneConfig(cpu_speed=0)
+    with pytest.raises(ValueError):
+        PhoneConfig(cores=0)

@@ -1,0 +1,59 @@
+"""Tests for the mean/burst-calibrated Gilbert-Elliott constructor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.loss import GilbertElliottLoss
+
+
+def measured_loss(model, n=200_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return 1.0 - model.sample(n, rng).mean()
+
+
+@pytest.mark.parametrize("burst", [1.0, 4.0, 16.0, 64.0])
+def test_from_mean_hits_target_loss(burst):
+    model = GilbertElliottLoss.from_mean(mean_loss=0.08, mean_burst=burst)
+    assert measured_loss(model) == pytest.approx(0.08, abs=0.02)
+
+
+def test_from_mean_burst_lengths_are_geometric():
+    """Bad-state runs average ~mean_burst datagrams."""
+    model = GilbertElliottLoss.from_mean(mean_loss=0.1, mean_burst=16.0)
+    rng = np.random.default_rng(1)
+    ok = model.sample(300_000, rng)
+    # Measure run lengths of losses (bad state is 90% lossy, so loss
+    # runs approximate bad sojourns).
+    losses = ~ok
+    runs = []
+    count = 0
+    for bit in losses:
+        if bit:
+            count += 1
+        elif count:
+            runs.append(count)
+            count = 0
+    mean_run = float(np.mean(runs))
+    # Loss runs are shorter than sojourns (10% of bad datagrams get
+    # through, splitting runs); they must still far exceed i.i.d.'s ~1.1.
+    assert mean_run > 3.0
+
+
+def test_from_mean_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss.from_mean(mean_loss=0.95, mean_burst=4.0)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss.from_mean(mean_loss=0.0, mean_burst=4.0)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss.from_mean(mean_loss=0.1, mean_burst=0.5)
+
+
+@given(mean_loss=st.floats(min_value=0.01, max_value=0.5),
+       burst=st.floats(min_value=1.0, max_value=100.0))
+@settings(max_examples=20, deadline=None)
+def test_from_mean_probabilities_always_valid(mean_loss, burst):
+    model = GilbertElliottLoss.from_mean(mean_loss=mean_loss, mean_burst=burst)
+    for p in (model.p_good, model.p_bad, model.p_g2b, model.p_b2g):
+        assert 0.0 <= p <= 1.0

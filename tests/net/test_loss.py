@@ -1,0 +1,80 @@
+"""Tests for loss models."""
+
+import numpy as np
+import pytest
+
+from repro.net import BernoulliLoss, GilbertElliottLoss, NoLoss
+from repro.sim import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(42).stream("test")
+
+
+def test_no_loss_receives_everything(rng):
+    assert NoLoss().sample(100, rng).all()
+    assert NoLoss().sample_one(rng)
+
+
+def test_bernoulli_zero_loss(rng):
+    assert BernoulliLoss(0.0).sample(100, rng).all()
+
+
+def test_bernoulli_total_loss(rng):
+    assert not BernoulliLoss(1.0).sample(100, rng).any()
+
+
+def test_bernoulli_rate_statistics(rng):
+    model = BernoulliLoss(0.2)
+    got = model.sample(50_000, rng)
+    rate = 1.0 - got.mean()
+    assert abs(rate - 0.2) < 0.01
+
+
+def test_bernoulli_validates_p():
+    with pytest.raises(ValueError):
+        BernoulliLoss(-0.1)
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.5)
+
+
+def test_bernoulli_rejects_negative_n(rng):
+    with pytest.raises(ValueError):
+        BernoulliLoss(0.1).sample(-1, rng)
+
+
+def test_gilbert_elliott_steady_state(rng):
+    model = GilbertElliottLoss(p_good=0.01, p_bad=0.5, p_g2b=0.05, p_b2g=0.15)
+    got = model.sample(100_000, rng)
+    rate = 1.0 - got.mean()
+    assert abs(rate - model.steady_state_loss) < 0.02
+
+
+def test_gilbert_elliott_is_bursty(rng):
+    """Losses under GE cluster together more than under Bernoulli."""
+    ge = GilbertElliottLoss(p_good=0.0, p_bad=1.0, p_g2b=0.02, p_b2g=0.1)
+    got = ge.sample(50_000, rng)
+    lost = ~got
+    # P(loss | previous loss) should far exceed the marginal loss rate.
+    pairs = lost[:-1] & lost[1:]
+    p_joint = pairs.sum() / max(1, lost[:-1].sum())
+    marginal = lost.mean()
+    assert p_joint > 2 * marginal
+
+
+def test_gilbert_elliott_state_persists_between_calls(rng):
+    model = GilbertElliottLoss(p_good=0.0, p_bad=1.0, p_g2b=1.0, p_b2g=0.0)
+    model.sample(10, rng)  # forces the chain into the bad state
+    assert model._in_bad
+    got = model.sample(100, rng)
+    assert not got.any()  # stuck in bad, everything lost
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_good=-0.1)
+
+
+def test_gilbert_elliott_empty_sample(rng):
+    assert GilbertElliottLoss().sample(0, rng).size == 0

@@ -1,0 +1,209 @@
+"""Tests for the ad-hoc WiFi cell."""
+
+import numpy as np
+import pytest
+
+from repro.net import Message, WifiCell, WifiConfig
+from repro.net.loss import BernoulliLoss, NoLoss
+from repro.net.wifi import Unreachable
+from repro.sim import RngRegistry, Simulator, Trace
+from repro.util import KB, Mbps
+
+
+def make_cell(loss=0.0, bandwidth=Mbps(2), trace=None, seed=42):
+    sim = Simulator()
+    cfg = WifiConfig(
+        bandwidth_bps=bandwidth,
+        loss_factory=lambda: BernoulliLoss(loss) if loss else NoLoss(),
+        mean_loss=min(loss, 0.99),
+    )
+    cell = WifiCell(sim, RngRegistry(seed), cfg, name="r0", trace=trace)
+    return sim, cell
+
+
+def test_membership():
+    sim, cell = make_cell()
+    inbox = []
+    cell.join("A", inbox.append)
+    assert cell.is_member("A")
+    assert cell.members == ["A"]
+    cell.leave("A")
+    assert not cell.is_member("A")
+    cell.leave("A")  # idempotent
+
+
+def test_udp_unicast_delivers_without_loss():
+    sim, cell = make_cell()
+    inbox = []
+    cell.join("A", lambda m: None)
+    cell.join("B", inbox.append)
+    msg = Message(src="A", dst="B", size=KB, kind="tuple", payload="hello")
+
+    p = sim.process(cell.udp_unicast(msg))
+    sim.run()
+    assert p.value is True
+    assert [m.payload for m in inbox] == ["hello"]
+
+
+def test_udp_unicast_to_nonmember_returns_false():
+    sim, cell = make_cell()
+    cell.join("A", lambda m: None)
+    msg = Message(src="A", dst="ghost", size=KB, kind="tuple")
+    p = sim.process(cell.udp_unicast(msg))
+    sim.run()
+    assert p.value is False
+
+
+def test_udp_unicast_lossy_channel_drops():
+    sim, cell = make_cell(loss=1.0)
+    inbox = []
+    cell.join("A", lambda m: None)
+    cell.join("B", inbox.append)
+    p = sim.process(cell.udp_unicast(Message(src="A", dst="B", size=KB, kind="t")))
+    sim.run()
+    assert p.value is False
+    assert inbox == []
+
+
+def test_tcp_unicast_reliable_and_timed():
+    sim, cell = make_cell(bandwidth=Mbps(2))
+    inbox = []
+    cell.join("A", lambda m: None)
+    cell.join("B", inbox.append)
+    size = 100 * KB
+    p = sim.process(cell.tcp_unicast(Message(src="A", dst="B", size=size, kind="t")))
+    sim.run()
+    assert p.value is True
+    assert len(inbox) == 1
+    expected = (size + cell.config.header_bytes) * 8 / Mbps(2) + cell.config.latency_s
+    assert sim.now == pytest.approx(expected, rel=1e-6)
+
+
+def test_tcp_unicast_loss_derates_goodput():
+    _, lossless = make_cell(loss=0.0)
+    _, lossy = make_cell(loss=0.5)
+    assert lossy.reliable_goodput() == pytest.approx(0.5 * lossless.reliable_goodput())
+
+
+def test_tcp_unicast_unreachable_raises():
+    sim, cell = make_cell()
+    cell.join("A", lambda m: None)
+
+    def proc(sim):
+        try:
+            yield from cell.tcp_unicast(Message(src="A", dst="gone", size=1, kind="t"))
+        except Unreachable:
+            return "raised"
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == "raised"
+
+
+def test_channel_serializes_transmissions():
+    """Two concurrent sends cannot overlap on the half-duplex medium."""
+    sim, cell = make_cell(bandwidth=Mbps(1))
+    cell.join("A", lambda m: None)
+    cell.join("B", lambda m: None)
+    cell.join("C", lambda m: None)
+    size = 125_000  # = 1 s airtime at 1 Mbps (ignoring headers)
+    done = []
+
+    def sender(sim, src, dst):
+        yield from cell.tcp_unicast(Message(src=src, dst=dst, size=size, kind="t"))
+        done.append(sim.now)
+
+    sim.process(sender(sim, "A", "B"))
+    sim.process(sender(sim, "C", "A"))
+    sim.run()
+    assert len(done) == 2
+    # Second completion is ~2x the first: the sends serialized.
+    assert done[1] >= 2 * (done[0] - cell.config.latency_s) * 0.99
+
+
+def test_broadcast_round_reaches_all_members():
+    sim, cell = make_cell()
+    for m in ("S", "A", "B", "C"):
+        cell.join(m, lambda m: None)
+    idx = np.arange(100)
+
+    p = sim.process(cell.udp_broadcast_round("S", idx, KB))
+    sim.run()
+    res = p.value
+    assert set(res.received) == {"A", "B", "C"}
+    for bm in res.received.values():
+        assert bm.all()  # no loss configured
+    assert res.bytes_sent == 100 * (KB + cell.config.header_bytes)
+
+
+def test_broadcast_round_airtime_single_transmission():
+    """Broadcast airtime is independent of the receiver count."""
+    def run(n_receivers):
+        sim, cell = make_cell(bandwidth=Mbps(1))
+        cell.join("S", lambda m: None)
+        for i in range(n_receivers):
+            cell.join(f"R{i}", lambda m: None)
+        p = sim.process(cell.udp_broadcast_round("S", np.arange(64), KB))
+        sim.run()
+        return p.value.duration
+
+    assert run(1) == pytest.approx(run(7))
+
+
+def test_broadcast_round_lossy_bitmaps_differ():
+    sim, cell = make_cell(loss=0.4, seed=7)
+    for m in ("S", "A", "B"):
+        cell.join(m, lambda m: None)
+    p = sim.process(cell.udp_broadcast_round("S", np.arange(2000), KB))
+    sim.run()
+    res = p.value
+    a, b = res.received["A"], res.received["B"]
+    assert 0 < a.sum() < 2000  # some but not all received
+    assert not np.array_equal(a, b)  # per-receiver independence
+
+
+def test_broadcast_round_empty_indices():
+    sim, cell = make_cell()
+    cell.join("S", lambda m: None)
+    cell.join("A", lambda m: None)
+    p = sim.process(cell.udp_broadcast_round("S", np.arange(0), KB))
+    sim.run()
+    assert p.value.bytes_sent == 0
+    assert p.value.received["A"].size == 0
+
+
+def test_broadcast_short_last_block_charged_correctly():
+    sim, cell = make_cell(bandwidth=Mbps(1))
+    cell.join("S", lambda m: None)
+    cell.join("A", lambda m: None)
+    hdr = cell.config.header_bytes
+    p = sim.process(
+        cell.udp_broadcast_round("S", np.arange(3), KB, last_block_size=100)
+    )
+    sim.run()
+    assert p.value.bytes_sent == 2 * (KB + hdr) + (100 + hdr)
+
+
+def test_control_exchange_requires_both_members():
+    sim, cell = make_cell()
+    cell.join("A", lambda m: None)
+
+    def proc(sim):
+        try:
+            yield from cell.control_exchange("A", "B", KB)
+        except Unreachable:
+            return "raised"
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == "raised"
+
+
+def test_trace_counts_bytes():
+    trace = Trace()
+    sim, cell = make_cell(trace=trace)
+    cell.join("A", lambda m: None)
+    cell.join("B", lambda m: None)
+    sim.process(cell.tcp_unicast(Message(src="A", dst="B", size=1000, kind="t")))
+    sim.run()
+    assert trace.value("net.wifi.bytes") > 1000

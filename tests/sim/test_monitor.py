@@ -1,0 +1,70 @@
+"""Tests for the trace/counter monitor."""
+
+import pytest
+
+from repro.sim import Trace
+
+
+def test_record_and_select():
+    tr = Trace()
+    tr.record(1.0, "tuple_done", latency=0.5)
+    tr.record(2.0, "tuple_done", latency=0.7)
+    tr.record(3.0, "failure", node="B")
+    recs = list(tr.select("tuple_done"))
+    assert len(recs) == 2
+    assert recs[0].data["latency"] == 0.5
+
+
+def test_select_time_window():
+    tr = Trace()
+    for t in range(10):
+        tr.record(float(t), "tick")
+    assert tr.count_of("tick", since=3.0, until=7.0) == 4
+
+
+def test_series_extraction():
+    tr = Trace()
+    tr.record(1.0, "x", v=10)
+    tr.record(2.0, "x", other=5)
+    tr.record(3.0, "x", v=30)
+    assert tr.series("x", "v") == [(1.0, 10), (3.0, 30)]
+
+
+def test_last():
+    tr = Trace()
+    assert tr.last("x") is None
+    tr.record(1.0, "x", v=1)
+    tr.record(2.0, "x", v=2)
+    assert tr.last("x").data["v"] == 2
+
+
+def test_counters():
+    tr = Trace()
+    tr.count("bytes", 100)
+    tr.count("bytes", 50)
+    assert tr.value("bytes") == 150
+    assert tr.value("missing") == 0.0
+    assert tr.value("missing", default=-1) == -1
+
+
+def test_counter_negative_raises():
+    tr = Trace()
+    with pytest.raises(ValueError):
+        tr.count("x", -1)
+
+
+def test_disabled_trace_skips_records_keeps_counters():
+    tr = Trace(enabled=False)
+    tr.record(1.0, "x")
+    tr.count("c", 5)
+    assert tr.records == []
+    assert tr.value("c") == 5
+
+
+def test_clear():
+    tr = Trace()
+    tr.record(1.0, "x")
+    tr.count("c")
+    tr.clear()
+    assert tr.records == []
+    assert tr.value("c") == 0.0

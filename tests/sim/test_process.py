@@ -1,0 +1,189 @@
+"""Tests for generator processes and interrupts."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        return 99
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 99
+    assert not p.is_alive
+    assert sim.now == 3.0
+
+
+def test_process_body_does_not_run_in_constructor():
+    sim = Simulator()
+    ran = []
+
+    def proc(sim):
+        ran.append(sim.now)
+        yield sim.timeout(0)
+
+    sim.process(proc(sim))
+    assert ran == []  # only runs once the loop starts
+    sim.run()
+    assert ran == [0.0]
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return ("parent", result, sim.now)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == ("parent", "child-result", 2.0)
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("inner")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except KeyError:
+            return "caught"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_unwaited_process_failure_raises_in_run():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.process(proc(sim))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    log = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            log.append((sim.now, i.cause))
+
+    p = sim.process(victim(sim))
+    sim.call_in(5.0, lambda: p.interrupt("battery-dead"))
+    sim.run()
+    assert log == [(5.0, "battery-dead")]
+
+
+def test_interrupt_detaches_from_pending_event():
+    sim = Simulator()
+    resumed = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        resumed.append(sim.now)
+
+    p = sim.process(victim(sim))
+    sim.call_in(5.0, lambda: p.interrupt())
+    sim.run()
+    # resumed at 5 + 1, not woken again at t=100
+    assert resumed == [6.0]
+    assert sim.now == 100.0  # the original timeout still fires harmlessly
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_uncaught_interrupt_fails_process():
+    sim = Simulator()
+
+    def victim(sim):
+        yield sim.timeout(100.0)
+
+    def killer(sim, victim_proc):
+        yield sim.timeout(1.0)
+        victim_proc.interrupt("kill")
+        try:
+            yield victim_proc
+        except Interrupt as i:
+            return f"victim died: {i.cause}"
+
+    v = sim.process(victim(sim))
+    k = sim.process(killer(sim, v))
+    sim.run()
+    assert k.value == "victim died: kill"
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    p = sim.process(bad(sim))
+    p.defuse()
+    sim.run()
+    assert p.ok is False
+    assert "not an Event" in str(p.value)
+
+
+def test_process_name():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(0)
+
+    p = sim.process(worker(sim), name="node-A")
+    assert p.name == "node-A"
+    assert "node-A" in repr(p)
+
+
+def test_many_sequential_processes_deterministic():
+    def run_once():
+        sim = Simulator()
+        order = []
+
+        def worker(sim, wid, delay):
+            yield sim.timeout(delay)
+            order.append(wid)
+
+        for i in range(50):
+            sim.process(worker(sim, i, (i * 7) % 13))
+        sim.run()
+        return order
+
+    assert run_once() == run_once()

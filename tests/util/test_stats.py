@@ -1,0 +1,48 @@
+"""Tests for statistics helpers."""
+
+import math
+
+from repro.util import mean, mean_ci, percentile, summarize
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2.0
+    assert math.isnan(mean([]))
+
+
+def test_percentile():
+    assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+    assert math.isnan(percentile([], 50))
+
+
+def test_mean_ci_single_value():
+    m, half = mean_ci([5.0])
+    assert m == 5.0
+    assert half == 0.0
+
+
+def test_mean_ci_width_shrinks_with_n():
+    small = mean_ci([1, 2, 3, 4])[1]
+    big = mean_ci([1, 2, 3, 4] * 25)[1]
+    assert big < small
+
+
+def test_mean_ci_empty():
+    m, half = mean_ci([])
+    assert math.isnan(m) and math.isnan(half)
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.n == 3
+    assert s.mean == 2.0
+    assert s.minimum == 1.0
+    assert s.maximum == 3.0
+    assert s.p50 == 2.0
+    assert "n=3" in str(s)
+
+
+def test_summarize_empty():
+    s = summarize([])
+    assert s.n == 0
+    assert math.isnan(s.mean)
