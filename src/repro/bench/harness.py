@@ -1,46 +1,42 @@
-"""Shared experiment runner for all benches."""
+"""Shared experiment runner for all benches.
+
+Since the scenario engine landed, :class:`ExperimentConfig` is a thin
+adapter: it describes the classic single-app, single-scheme bench run
+and compiles to a :class:`~repro.scenarios.spec.ScenarioSpec`
+(:meth:`ExperimentConfig.to_scenario`), which
+:mod:`repro.scenarios.runner` executes.  The scheme/app factories live
+in the runner and are re-exported here for compatibility.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.apps import BCPApp, SignalGuruApp
-from repro.baselines import (
-    ActiveStandby,
-    DistributedCheckpoint,
-    LocalCheckpoint,
-    NoFaultTolerance,
-)
-from repro.checkpoint import MobiStreamsScheme
 from repro.core.metrics import MetricsReport
-from repro.core.system import MobiStreamsSystem, SystemConfig
+from repro.scenarios.runner import (  # noqa: F401  (compat re-exports)
+    app_factory,
+    run_case,
+    scheme_factories,
+)
+from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
+
+#: One timed fault: (time, [phone indices]).
+FaultTuple = Tuple[float, List[int]]
+#: A fault field accepts nothing, one fault, or a list of timed faults.
+FaultSpec = Union[None, FaultTuple, List[FaultTuple]]
 
 
-def scheme_factories(checkpoint_period_s: float = 300.0) -> Dict[str, Callable]:
-    """The Section IV-B comparison set, keyed by figure label.
-
-    ``checkpoint_period_s`` drives the periodic baselines; MobiStreams
-    takes its period from the controller's checkpoint clock instead.
-    """
-    return {
-        "base": NoFaultTolerance,
-        "rep-2": lambda: ActiveStandby(2),
-        "local": lambda: LocalCheckpoint(period_s=checkpoint_period_s),
-        "dist-1": lambda: DistributedCheckpoint(1, period_s=checkpoint_period_s),
-        "dist-2": lambda: DistributedCheckpoint(2, period_s=checkpoint_period_s),
-        "dist-3": lambda: DistributedCheckpoint(3, period_s=checkpoint_period_s),
-        "ms-8": MobiStreamsScheme,
-    }
-
-
-def app_factory(app_name: str):
-    """'bcp' or 'signalguru' -> a fresh AppSpec factory."""
-    if app_name == "bcp":
-        return BCPApp
-    if app_name == "signalguru":
-        return SignalGuruApp
-    raise ValueError(f"unknown app {app_name!r}")
+def _normalize_faults(value: FaultSpec) -> List[FaultTuple]:
+    """Back-compat: a bare ``(time, [idxs])`` tuple still works; a list
+    (or tuple) of such tuples scripts several timed fault events."""
+    if value is None:
+        return []
+    if isinstance(value, tuple) and len(value) == 2 and isinstance(
+        value[0], (int, float)
+    ):
+        return [value]
+    return [tuple(v) for v in value]
 
 
 @dataclass
@@ -56,10 +52,43 @@ class ExperimentConfig:
     phones_per_region: int = 8
     idle_per_region: int = 2
     checkpoint_period_s: float = 300.0
-    #: Phones crashing simultaneously: (time, [phone indices]).
-    crash: Optional[tuple] = None
-    #: Phones departing simultaneously: (time, [phone indices]).
-    depart: Optional[tuple] = None
+    #: Crash events: ``(time, [phone indices])`` or a list of them.
+    crash: FaultSpec = None
+    #: Departure events: ``(time, [phone indices])`` or a list of them.
+    depart: FaultSpec = None
+
+    @property
+    def crash_events(self) -> List[FaultTuple]:
+        """Crash faults as a normalized list of (time, indices)."""
+        return _normalize_faults(self.crash)
+
+    @property
+    def depart_events(self) -> List[FaultTuple]:
+        """Departure faults as a normalized list of (time, indices)."""
+        return _normalize_faults(self.depart)
+
+    def to_scenario(self) -> ScenarioSpec:
+        """Compile to the equivalent single-case scenario spec."""
+        events = [
+            EventSpec(kind="crash", time=t, region=0, phones=tuple(idxs))
+            for t, idxs in self.crash_events
+        ] + [
+            EventSpec(kind="depart", time=t, region=0, phones=tuple(idxs))
+            for t, idxs in self.depart_events
+        ]
+        return ScenarioSpec(
+            name=f"bench-{self.app}-{self.scheme}",
+            duration_s=self.duration_s,
+            warmup_s=self.warmup_s,
+            n_regions=self.n_regions,
+            phones_per_region=self.phones_per_region,
+            idle_per_region=self.idle_per_region,
+            checkpoint_period_s=self.checkpoint_period_s,
+            events=tuple(events),
+            matrix=MatrixSpec(
+                apps=(self.app,), schemes=(self.scheme,), seeds=(self.seed,)
+            ),
+        )
 
 
 @dataclass
@@ -84,33 +113,12 @@ class ExperimentOutcome:
 
 def run_experiment(cfg: ExperimentConfig) -> ExperimentOutcome:
     """Build, run, and measure one deployment."""
-    sys_cfg = SystemConfig(
-        n_regions=cfg.n_regions,
-        phones_per_region=cfg.phones_per_region,
-        idle_per_region=cfg.idle_per_region,
-        master_seed=cfg.seed,
-        checkpoint_period_s=cfg.checkpoint_period_s,
-    )
-    system = MobiStreamsSystem(
-        sys_cfg,
-        app_factory(cfg.app)(),
-        scheme_factories(cfg.checkpoint_period_s)[cfg.scheme],
-    )
-    system.start()
-    if cfg.crash is not None:
-        t, idxs = cfg.crash
-        system.injector.crash_at(t, [f"region0.p{i}" for i in idxs])
-    if cfg.depart is not None:
-        t, idxs = cfg.depart
-        for i in idxs:
-            system.sim.call_at(t, lambda i=i: system.apply_departure(f"region0.p{i}"))
-    system.run(cfg.duration_s)
-    report = system.metrics(warmup_s=cfg.warmup_s)
+    result = run_case(cfg.to_scenario(), cfg.app, cfg.scheme, cfg.seed)
     return ExperimentOutcome(
         config=cfg,
-        report=report,
-        region_stopped=system.regions[0].stopped,
-        recoveries=report.recoveries,
+        report=result.report,
+        region_stopped=result.region_stopped[0],
+        recoveries=result.report.recoveries,
     )
 
 

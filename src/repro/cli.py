@@ -8,6 +8,10 @@ Commands
 ``bench``
     Regenerate a paper artifact (``table1``/``fig8``/``fig9``/``fig10``/
     ``ablation``) — thin wrapper over :mod:`repro.bench.run_all`.
+``scenario``
+    The scenario engine: ``list`` the named library, ``show`` a spec as
+    JSON, ``run`` a scenario's matrix serially, or ``sweep`` it across
+    a process pool (``--jobs N``) into a JSON artifact.
 ``info``
     List the available applications, schemes, and the paper's reference
     numbers.
@@ -19,6 +23,9 @@ Examples
     python -m repro run --app bcp --scheme ms-8 --duration 900 \\
         --crash 300:3,4 --verbose
     python -m repro bench fig8 --quick
+    python -m repro scenario list
+    python -m repro scenario run paper-fig8 --quick
+    python -m repro scenario sweep flash-crowd --jobs 4 --out sweep.json
     python -m repro info
 """
 
@@ -69,9 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--period", type=float, default=300.0,
                        help="checkpoint period in seconds")
     run_p.add_argument("--crash", type=_parse_fault, default=None,
-                       metavar="T:I,J", help="crash phones I,J at time T")
+                       action="append", metavar="T:I,J",
+                       help="crash phones I,J at time T (repeatable)")
     run_p.add_argument("--depart", type=_parse_fault, default=None,
-                       metavar="T:I,J", help="phones I,J leave at time T")
+                       action="append", metavar="T:I,J",
+                       help="phones I,J leave at time T (repeatable)")
     run_p.add_argument("--verbose", action="store_true",
                        help="also print fault-tolerance counters")
 
@@ -80,6 +89,24 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["table1", "fig8", "fig9", "fig10",
                                   "ablation", "all"])
     bench_p.add_argument("--quick", action="store_true")
+
+    scen_p = sub.add_parser("scenario", help="scenario engine commands")
+    scen_sub = scen_p.add_subparsers(dest="scenario_command", required=True)
+    scen_sub.add_parser("list", help="list the registered scenarios")
+    show_p = scen_sub.add_parser("show", help="print one scenario spec as JSON")
+    show_p.add_argument("name")
+    for verb, help_text in (
+        ("run", "run a scenario's matrix and print a results table"),
+        ("sweep", "run a scenario's matrix and write a JSON artifact"),
+    ):
+        p = scen_sub.add_parser(verb, help=help_text)
+        p.add_argument("name")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
+        p.add_argument("--quick", action="store_true",
+                       help="time-compress the scenario to ~300 sim seconds")
+        p.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the aggregated metrics JSON here")
 
     sub.add_parser("info", help="list apps, schemes, paper numbers")
     return parser
@@ -125,6 +152,70 @@ def cmd_bench(args) -> int:
     return run_all.main(argv)
 
 
+def cmd_scenario(args) -> int:
+    from repro import scenarios
+    from repro.bench.harness import format_table
+
+    if args.scenario_command == "list":
+        rows = []
+        for spec in scenarios.all_specs():
+            summary = spec.description.split(":")[0] if spec.description else ""
+            if len(summary) > 56:
+                summary = summary[:53] + "..."
+            rows.append([
+                spec.name,
+                f"{spec.n_regions}", f"{len(spec.matrix)}", f"{len(spec.events)}",
+                f"{spec.duration_s:.0f}s", summary,
+            ])
+        print(format_table(
+            ["scenario", "regions", "cases", "events", "duration", "summary"],
+            rows, title=f"{len(rows)} registered scenarios"))
+        return 0
+
+    try:
+        spec = scenarios.get(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.scenario_command == "show":
+        print(spec.to_json(indent=2))
+        return 0
+
+    # run / sweep
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.quick:
+        spec = spec.quick()
+    result = scenarios.run_sweep(spec, jobs=args.jobs, out_path=args.out)
+    if args.scenario_command == "sweep" and args.out:
+        print(f"{result['n_cases']} cases -> {args.out}")
+        return 0
+    if args.scenario_command == "sweep":
+        print(scenarios.dumps_result(result))
+        return 0
+    rows = []
+    stopped_any = False
+    for case in result["cases"]:
+        first = next(iter(case["regions"].values()))
+        stopped = any(r["stopped"] for r in case["regions"].values())
+        stopped_any = stopped_any or stopped
+        lat = case["end_to_end_latency_s"]
+        rows.append([
+            case["app"], case["scheme"], case["seed"],
+            f"{first['throughput_tps']:.3f}" if first["throughput_tps"] is not None else "-",
+            f"{lat:.1f}" if lat is not None else "-",
+            case["recoveries"], case["departures_handled"],
+            "STOPPED" if stopped else "ok",
+        ])
+    print(format_table(
+        ["app", "scheme", "seed", "tput t/s", "e2e lat s",
+         "recoveries", "departures", "outcome"],
+        rows, title=f"scenario {spec.name} — {result['n_cases']} cases"))
+    return 1 if stopped_any else 0
+
+
 def cmd_info(args) -> int:
     print("applications:")
     print("  bcp         Bus Capacity Prediction (Fig. 2): camera frames ->")
@@ -149,7 +240,8 @@ def cmd_info(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return {"run": cmd_run, "bench": cmd_bench, "info": cmd_info}[args.command](args)
+    return {"run": cmd_run, "bench": cmd_bench, "scenario": cmd_scenario,
+            "info": cmd_info}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

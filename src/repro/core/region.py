@@ -149,6 +149,32 @@ class Region:
             raise ValueError(f"{op_name!r} is not a source operator")
         self._workloads[op_name] = iter(workload)
 
+    def wrap_workloads(self, wrapper: Callable[[Iterable], Iterable]) -> None:
+        """Replace every bound workload with ``wrapper(workload)``.
+
+        Pre-start hook for scenario machinery (e.g. surge rate scaling);
+        once the source drivers are running, the iterators are pinned.
+        """
+        if self._driver_started:
+            raise RuntimeError("workloads already running; wrap before start")
+        self._workloads = {op: iter(wrapper(w)) for op, w in self._workloads.items()}
+
+    def admit_idle_phone(self, phone: Phone) -> None:
+        """A phone arrives in the region and registers as an idle spare.
+
+        Mirrors the Section III-A registration path for a phone that shows
+        up after boot: it joins the ad-hoc WiFi and the cellular network
+        and becomes available for replacement promotion.
+        """
+        if phone.id in self.phones:
+            raise ValueError(f"phone {phone.id!r} already in region {self.name}")
+        self.phones[phone.id] = phone
+        self.idle_ids.append(phone.id)
+        if self._spawned:
+            self._join_networks(phone.id)
+        self.trace.record(self.sim.now, "phone_joined", region=self.name, phone=phone.id)
+        self.trace.count(f"{self.name}.joins")
+
     def add_downstream_region(self, region: "Region") -> None:
         """Cascade: this region's sink results feed ``region``'s sources."""
         self._downstream.append(region)

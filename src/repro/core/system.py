@@ -34,6 +34,29 @@ REGION_SPACING_M = 500.0
 
 
 @dataclass
+class RegionBuildSpec:
+    """Per-region overrides for a heterogeneous deployment.
+
+    Any field left at ``None`` falls back to the :class:`SystemConfig`
+    default, so a spec only states what differs (a slow fleet, a region
+    that starts half-charged, ...).
+    """
+
+    #: Computing phones in this region (None -> ``phones_per_region``).
+    phones: Optional[int] = None
+    #: Idle spare phones (None -> ``idle_per_region``).
+    idle: Optional[int] = None
+    #: Hardware profile for this region's phones (None -> ``phone``).
+    phone: Optional[PhoneConfig] = None
+    #: Initial battery charge of this region's phones.
+    charge_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.charge_fraction <= 1.0:
+            raise ValueError("charge_fraction must be in (0, 1]")
+
+
+@dataclass
 class SystemConfig:
     """Deployment-wide configuration (defaults follow Section IV)."""
 
@@ -48,6 +71,9 @@ class SystemConfig:
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     phone: PhoneConfig = field(default_factory=PhoneConfig)
     region_defaults: RegionConfig = field(default_factory=lambda: RegionConfig(name="_"))
+    #: Per-region heterogeneity: entry r overrides region r; a short list
+    #: (or ``None`` entries) leaves the remaining regions at the defaults.
+    region_builds: Optional[List[Optional[RegionBuildSpec]]] = None
     trace_enabled: bool = True
 
     def __post_init__(self) -> None:
@@ -55,6 +81,15 @@ class SystemConfig:
             raise ValueError("need at least one region")
         if self.phones_per_region < 1:
             raise ValueError("need at least one phone per region")
+        if self.region_builds is not None and len(self.region_builds) > self.n_regions:
+            raise ValueError("more region_builds entries than regions")
+
+    def region_build(self, index: int) -> RegionBuildSpec:
+        """The effective build spec for region ``index``."""
+        spec = None
+        if self.region_builds is not None and index < len(self.region_builds):
+            spec = self.region_builds[index]
+        return spec if spec is not None else RegionBuildSpec()
 
 
 class MobiStreamsSystem:
@@ -77,7 +112,10 @@ class MobiStreamsSystem:
         self.injector.on_crash(self._apply_crash)
         self.regions: List[Region] = []
         self.schemes: List[Any] = []
+        self.areas: List[RegionArea] = []
         self._phone_region: Dict[str, Region] = {}
+        self._compute_counts: List[int] = []
+        self._join_seq = 0
         self._build_regions(scheme_factory)
         self._started = False
 
@@ -87,14 +125,22 @@ class MobiStreamsSystem:
         geo_rng = self.rng.stream("geometry")
         for r in range(cfg.n_regions):
             name = f"region{r}"
+            build = cfg.region_build(r)
+            n_compute = build.phones if build.phones is not None else cfg.phones_per_region
+            n_idle = build.idle if build.idle is not None else cfg.idle_per_region
+            phone_cfg = build.phone if build.phone is not None else cfg.phone
             area = RegionArea(Position(REGION_SPACING_M * r, 0.0), radius=10.0)
+            self.areas.append(area)
+            self._compute_counts.append(n_compute)
             compute = [
-                Phone(f"{name}.p{i}", area.random_point(geo_rng), cfg.phone)
-                for i in range(cfg.phones_per_region)
+                Phone(f"{name}.p{i}", area.random_point(geo_rng), phone_cfg,
+                      charge_fraction=build.charge_fraction)
+                for i in range(n_compute)
             ]
             idle = [
-                Phone(f"{name}.idle{i}", area.random_point(geo_rng), cfg.phone)
-                for i in range(cfg.idle_per_region)
+                Phone(f"{name}.idle{i}", area.random_point(geo_rng), phone_cfg,
+                      charge_fraction=build.charge_fraction)
+                for i in range(n_idle)
             ]
             wifi = WifiCell(self.sim, self.rng, cfg.wifi, name=name, trace=self.trace)
             scheme = scheme_factory()
@@ -146,6 +192,59 @@ class MobiStreamsSystem:
         if region is None:
             raise KeyError(f"unknown phone {phone_id!r}")
         region.apply_departure(phone_id)
+
+    def find_phone(self, phone_id: str) -> Optional[Phone]:
+        """Look a phone up across all regions (None if unknown)."""
+        region = self._phone_region.get(phone_id)
+        return region.phones.get(phone_id) if region is not None else None
+
+    def admit_phone(
+        self,
+        region_index: int,
+        charge_fraction: float = 1.0,
+        config: Optional["PhoneConfig"] = None,
+    ) -> str:
+        """A new phone enters a region and registers as an idle spare.
+
+        Models churn/joins (Section III-A: phones that dwell in a region
+        register with the controller).  The phone becomes immediately
+        available for replacement promotion.  Returns the new phone id.
+        """
+        region = self.regions[region_index]
+        area = self.areas[region_index]
+        self._join_seq += 1
+        pid = f"{region.name}.j{self._join_seq}"
+        phone = Phone(
+            pid,
+            area.random_point(self.rng.stream("geometry.join")),
+            config if config is not None else self.config.phone,
+            charge_fraction=charge_fraction,
+        )
+        region.admit_idle_phone(phone)
+        self._phone_region[pid] = region
+        return pid
+
+    def handoff(self, phone_id: str, to_region_index: Optional[int] = None) -> Optional[str]:
+        """A phone walks from its region into another one (Section III-E).
+
+        The departure side runs the usual urgent-mode/state-transfer
+        machinery; the arrival side admits the phone (same battery, same
+        hardware) as an idle spare of the target region.  ``None`` target
+        defaults to the next region down the cascade; a phone walking off
+        the far end simply departs.  Returns the arrival-side phone id.
+        """
+        region = self._phone_region.get(phone_id)
+        if region is None:
+            raise KeyError(f"unknown phone {phone_id!r}")
+        phone = region.phones.get(phone_id)
+        charge = phone.battery.fraction if phone is not None else 1.0
+        p_cfg = phone.config if phone is not None else None
+        if to_region_index is None:
+            to_region_index = self.regions.index(region) + 1
+        region.apply_departure(phone_id)
+        if not 0 <= to_region_index < len(self.regions) or phone is None or not phone.alive:
+            return None
+        return self.admit_phone(to_region_index, charge_fraction=charge, config=p_cfg)
 
     def attach_mobility(self, model: "MobilityModel") -> None:
         """Arm a mobility model: its departures drive the regions.
@@ -215,9 +314,8 @@ class MobiStreamsSystem:
 
     def compute_phone_ids(self, region_index: int = 0) -> List[str]:
         """The computing phones of one region, in id order."""
-        cfg = self.config
         name = f"region{region_index}"
-        return [f"{name}.p{i}" for i in range(cfg.phones_per_region)]
+        return [f"{name}.p{i}" for i in range(self._compute_counts[region_index])]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<MobiStreamsSystem regions={len(self.regions)} t={self.sim.now:.1f}s>"

@@ -71,6 +71,27 @@ class FailureInjector:
             self.sim.call_at(time, lambda p=pid: self._fire(p, reason))
             self.injected.append(FailureEvent(time, pid, reason))
 
+    def schedule(self, events: Sequence[FailureEvent]) -> None:
+        """Schedule an arbitrary list of timed crash events."""
+        for ev in events:
+            self.sim.call_at(ev.time, lambda e=ev: self._fire(e.phone_id, e.reason))
+            self.injected.append(ev)
+
+    def cascade(
+        self,
+        start: float,
+        interval: float,
+        phone_ids: Sequence[str],
+        reason: str = "cascade",
+    ) -> None:
+        """Staggered burst: one phone of ``phone_ids`` crashes every
+        ``interval`` seconds starting at ``start`` (a failure cascade
+        rolling through the region within one checkpoint period)."""
+        self.schedule([
+            FailureEvent(start + i * interval, pid, reason)
+            for i, pid in enumerate(phone_ids)
+        ])
+
     def periodic_crashes(
         self, period: float, phone_ids: Sequence[str], reason: str = "injected"
     ) -> None:

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.device.phone import Phone
@@ -68,3 +70,31 @@ class ScriptedDepartures(MobilityModel):
         """Schedule every departure on the simulator."""
         for time, phone_id in self.schedule:
             sim.call_at(time, lambda pid=phone_id: on_departure(pid))
+
+
+@dataclass
+class PoissonChurn(MobilityModel):
+    """Organic churn: phones trickle out at exponential intervals.
+
+    Rush-hour style mobility — each phone in ``phone_ids`` departs once,
+    in listed order, with i.i.d. exponential gaps of mean
+    ``mean_interval_s`` starting at ``start_at``.  Departures after
+    ``until`` (if set) are dropped.  Fully deterministic for a given
+    ``seed``, so scenario runs stay reproducible.
+    """
+
+    phone_ids: Sequence[str] = ()
+    mean_interval_s: float = 60.0
+    start_at: float = 0.0
+    until: Optional[float] = None
+    seed: int = 0
+
+    def start(self, sim: "Simulator", on_departure: DepartureCallback) -> None:
+        """Draw the departure times and schedule them."""
+        gen = np.random.default_rng(self.seed)
+        t = self.start_at
+        for phone_id in self.phone_ids:
+            t += float(gen.exponential(self.mean_interval_s))
+            if self.until is not None and t > self.until:
+                break
+            sim.call_at(t, lambda pid=phone_id: on_departure(pid))

@@ -1,0 +1,44 @@
+"""Scenario engine: declarative specs, a named library, parallel sweeps.
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` and friends, the
+  declarative (dict/JSON round-trippable) description of a deployment,
+  its timed event script, and the app × scheme × seed matrix.
+* :mod:`repro.scenarios.events` — the :class:`EventDirector` that drives
+  a built system from a spec's script.
+* :mod:`repro.scenarios.registry` / :mod:`repro.scenarios.library` — the
+  name -> spec registry and the built-in scenarios.
+* :mod:`repro.scenarios.runner` — single-case execution and the
+  ``multiprocessing`` sweep executor with canonical JSON artifacts.
+"""
+
+from repro.scenarios import library as _library  # noqa: F401  (registers built-ins)
+from repro.scenarios.events import EventDirector
+from repro.scenarios.registry import all_specs, get, names, register, unregister
+from repro.scenarios.runner import (
+    CaseResult,
+    build_system,
+    case_to_dict,
+    dumps_result,
+    run_case,
+    run_sweep,
+)
+from repro.scenarios.spec import EventSpec, MatrixSpec, RegionSpec, ScenarioSpec
+
+__all__ = [
+    "CaseResult",
+    "EventDirector",
+    "EventSpec",
+    "MatrixSpec",
+    "RegionSpec",
+    "ScenarioSpec",
+    "all_specs",
+    "build_system",
+    "case_to_dict",
+    "dumps_result",
+    "get",
+    "names",
+    "register",
+    "run_case",
+    "run_sweep",
+    "unregister",
+]

@@ -1,0 +1,210 @@
+"""Scenario execution: single cases and parallel matrix sweeps.
+
+A scenario's matrix (app × scheme × seed) expands into independent
+cases.  Each case builds a fresh :class:`MobiStreamsSystem` seeded via
+:class:`~repro.sim.rng.RngRegistry`, arms the scenario's event script,
+runs it, and reduces the trace to a JSON-ready metrics dict.  Cases
+share nothing, so the sweep executor fans them out over a
+``multiprocessing`` pool (near-linear speedup) while keeping the output
+bit-identical to a serial run: results are collected in matrix order
+(``pool.map`` preserves it) and every case is deterministic in
+(spec, app, scheme, seed).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.apps import BCPApp, SignalGuruApp
+from repro.baselines import (
+    ActiveStandby,
+    DistributedCheckpoint,
+    LocalCheckpoint,
+    NoFaultTolerance,
+)
+from repro.checkpoint import MobiStreamsScheme
+from repro.core.metrics import MetricsReport
+from repro.core.system import MobiStreamsSystem, RegionBuildSpec, SystemConfig
+from repro.device.phone import PhoneConfig
+from repro.scenarios.events import EventDirector
+from repro.scenarios.spec import ScenarioSpec
+
+
+def scheme_factories(checkpoint_period_s: float = 300.0) -> Dict[str, Callable]:
+    """The Section IV-B comparison set, keyed by figure label.
+
+    ``checkpoint_period_s`` drives the periodic baselines; MobiStreams
+    takes its period from the controller's checkpoint clock instead.
+    """
+    return {
+        "base": NoFaultTolerance,
+        "rep-2": lambda: ActiveStandby(2),
+        "local": lambda: LocalCheckpoint(period_s=checkpoint_period_s),
+        "dist-1": lambda: DistributedCheckpoint(1, period_s=checkpoint_period_s),
+        "dist-2": lambda: DistributedCheckpoint(2, period_s=checkpoint_period_s),
+        "dist-3": lambda: DistributedCheckpoint(3, period_s=checkpoint_period_s),
+        "ms-8": MobiStreamsScheme,
+    }
+
+
+def app_factory(app_name: str):
+    """'bcp' or 'signalguru' -> a fresh AppSpec factory."""
+    if app_name == "bcp":
+        return BCPApp
+    if app_name == "signalguru":
+        return SignalGuruApp
+    raise ValueError(f"unknown app {app_name!r}")
+
+
+@dataclass
+class CaseResult:
+    """One executed (app, scheme, seed) case of a scenario."""
+
+    scenario: str
+    app: str
+    scheme: str
+    seed: int
+    report: MetricsReport
+    region_stopped: List[bool]
+
+    @property
+    def recoveries(self) -> int:
+        return self.report.recoveries
+
+
+def build_system(
+    spec: ScenarioSpec, app: str, scheme: str, seed: int
+) -> MobiStreamsSystem:
+    """A fresh deployment for one case of ``spec``."""
+    region_builds: Optional[List[Optional[RegionBuildSpec]]] = None
+    if spec.regions:
+        region_builds = []
+        for r in spec.regions:
+            phone_cfg = (
+                PhoneConfig(cpu_speed=r.cpu_speed) if r.cpu_speed != 1.0 else None
+            )
+            region_builds.append(RegionBuildSpec(
+                phones=r.phones, idle=r.idle, phone=phone_cfg,
+                charge_fraction=r.charge_fraction,
+            ))
+    sys_cfg = SystemConfig(
+        n_regions=spec.n_regions,
+        phones_per_region=spec.phones_per_region,
+        idle_per_region=spec.idle_per_region,
+        master_seed=seed,
+        checkpoint_period_s=spec.checkpoint_period_s,
+        region_builds=region_builds,
+    )
+    return MobiStreamsSystem(
+        sys_cfg,
+        app_factory(app)(),
+        scheme_factories(spec.checkpoint_period_s)[scheme],
+    )
+
+
+def run_case(spec: ScenarioSpec, app: str, scheme: str, seed: int) -> CaseResult:
+    """Build, script, run, and measure one case."""
+    system = build_system(spec, app, scheme, seed)
+    director = EventDirector(system, spec)
+    director.install()
+    system.start()
+    director.schedule()
+    system.run(spec.duration_s)
+    report = system.metrics(warmup_s=spec.warmup_s)
+    return CaseResult(
+        scenario=spec.name,
+        app=app,
+        scheme=scheme,
+        seed=seed,
+        report=report,
+        region_stopped=[r.stopped for r in system.regions],
+    )
+
+
+def _num(x: float) -> Optional[float]:
+    """NaN-free float for strict JSON."""
+    return None if isinstance(x, float) and math.isnan(x) else x
+
+
+def case_to_dict(result: CaseResult) -> Dict[str, Any]:
+    """JSON-ready metrics for one case (stable, timestamp-free)."""
+    report = result.report
+    regions = {}
+    for i, (name, rm) in enumerate(report.per_region.items()):
+        regions[name] = {
+            "output_tuples": rm.output_tuples,
+            "throughput_tps": _num(rm.throughput_tps),
+            "mean_latency_s": _num(rm.mean_latency_s),
+            "p95_latency_s": _num(rm.p95_latency_s),
+            "stopped": result.region_stopped[i],
+        }
+    return {
+        "scenario": result.scenario,
+        "app": result.app,
+        "scheme": result.scheme,
+        "seed": result.seed,
+        "regions": regions,
+        "end_to_end_latency_s": _num(report.end_to_end_latency_s),
+        "preserved_bytes": report.preserved_bytes,
+        "ft_network_bytes": report.ft_network_bytes,
+        "wifi_bytes": report.wifi_bytes,
+        "cellular_bytes": report.cellular_bytes,
+        "recoveries": report.recoveries,
+        "departures_handled": report.departures_handled,
+    }
+
+
+def _sweep_worker(payload: Tuple[Dict[str, Any], str, str, int]) -> Dict[str, Any]:
+    """Pool worker: rebuild the spec from its dict form, run one case."""
+    spec_dict, app, scheme, seed = payload
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return case_to_dict(run_case(spec, app, scheme, seed))
+
+
+def run_sweep(
+    spec: ScenarioSpec,
+    jobs: int = 1,
+    out_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run a scenario's whole matrix, optionally in parallel.
+
+    ``jobs > 1`` fans the cases out over a process pool; the aggregated
+    result is byte-identical to a serial run (case order follows the
+    matrix, each case is independently seeded and deterministic).  With
+    ``out_path`` the result is also written as canonical JSON.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cases = list(spec.matrix.cases())
+    if jobs > 1 and len(cases) > 1:
+        payloads = [(spec.to_dict(), app, scheme, seed) for app, scheme, seed in cases]
+        with multiprocessing.Pool(min(jobs, len(cases))) as pool:
+            rows = pool.map(_sweep_worker, payloads)
+    else:
+        rows = [case_to_dict(run_case(spec, app, scheme, seed))
+                for app, scheme, seed in cases]
+    result = {
+        "scenario": spec.name,
+        "spec": spec.to_dict(),
+        "n_cases": len(rows),
+        "cases": rows,
+    }
+    if out_path:
+        dirname = os.path.dirname(out_path)
+        if dirname:
+            os.makedirs(dirname, exist_ok=True)
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(dumps_result(result))
+            fh.write("\n")
+    return result
+
+
+def dumps_result(result: Dict[str, Any]) -> str:
+    """Canonical serialization (sorted keys, fixed layout) so serial and
+    parallel sweeps of the same scenario compare byte-for-byte."""
+    return json.dumps(result, sort_keys=True, indent=2)

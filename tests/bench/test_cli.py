@@ -32,6 +32,21 @@ def test_parser_rejects_unknown_scheme():
         build_parser().parse_args(["run", "--scheme", "nope"])
 
 
+def test_parser_crash_flag_is_repeatable():
+    args = build_parser().parse_args(
+        ["run", "--crash", "100:3", "--crash", "200:4"])
+    assert args.crash == [(100.0, [3]), (200.0, [4])]
+
+
+def test_run_command_with_two_crash_bursts(capsys):
+    rc = main(["run", "--app", "bcp", "--scheme", "ms-8",
+               "--duration", "300", "--warmup", "50", "--period", "60",
+               "--idle", "4", "--crash", "100:3", "--crash", "200:4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "recoveries: 2" in out
+
+
 def test_parser_bench_artifacts():
     args = build_parser().parse_args(["bench", "fig8", "--quick"])
     assert args.artifact == "fig8"

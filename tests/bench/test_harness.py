@@ -87,6 +87,48 @@ def test_crash_config_injects_failures():
     assert not out.region_stopped
 
 
+def test_crash_accepts_a_list_of_timed_faults():
+    # Two separate bursts across checkpoint periods — inexpressible with
+    # the old single-tuple field.
+    out = run_experiment(ExperimentConfig(
+        app="bcp", scheme="ms-8", duration_s=300.0, warmup_s=20.0, seed=3,
+        idle_per_region=4, checkpoint_period_s=60.0,
+        crash=[(100.0, [3]), (200.0, [4])],
+    ))
+    assert out.recoveries >= 2
+    assert not out.region_stopped
+
+
+def test_bare_tuple_and_singleton_list_are_equivalent():
+    cfg_tuple = ExperimentConfig(
+        app="bcp", scheme="ms-8", duration_s=240.0, warmup_s=20.0, seed=3,
+        idle_per_region=4, checkpoint_period_s=60.0, crash=(100.0, [3]),
+    )
+    cfg_list = ExperimentConfig(
+        app="bcp", scheme="ms-8", duration_s=240.0, warmup_s=20.0, seed=3,
+        idle_per_region=4, checkpoint_period_s=60.0, crash=[(100.0, [3])],
+    )
+    assert cfg_tuple.crash_events == cfg_list.crash_events
+    a, b = run_experiment(cfg_tuple), run_experiment(cfg_list)
+    assert (a.throughput, a.latency) == (b.throughput, b.latency)
+
+
+def test_tuple_of_fault_tuples_is_a_fault_list():
+    cfg = ExperimentConfig(crash=((100.0, [3]), (200.0, [4])))
+    assert cfg.crash_events == [(100.0, [3]), (200.0, [4])]
+
+
+def test_config_compiles_to_scenario_spec():
+    cfg = ExperimentConfig(app="bcp", scheme="ms-8", crash=(100.0, [3, 4]),
+                           depart=[(200.0, [5])])
+    spec = cfg.to_scenario()
+    assert [e.kind for e in spec.events] == ["crash", "depart"]
+    assert spec.events[0].phones == (3, 4)
+    assert spec.matrix.apps == ("bcp",)
+    assert spec.matrix.schemes == ("ms-8",)
+    assert spec.matrix.seeds == (3,)
+
+
 def test_depart_config_triggers_state_transfer():
     out = run_experiment(ExperimentConfig(
         app="bcp", scheme="ms-8", duration_s=240.0, warmup_s=20.0, seed=3,

@@ -62,6 +62,14 @@ def test_signalguru_demo():
     assert out.strip()
 
 
+def test_scenario_sweep():
+    out = run_example("scenario_sweep.py")
+    assert "built-in scenarios:" in out
+    assert "paper-fig8" in out
+    assert "round-trips through JSON: True" in out
+    assert "ms-8 recovered" in out
+
+
 def test_failure_burst_imports():
     """The sweep itself takes minutes; just verify the module loads and
     its scheme/tolerance wiring is consistent."""

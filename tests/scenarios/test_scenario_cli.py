@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro scenario`` command group."""
+
+import json
+
+import pytest
+
+from repro import scenarios
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_scenario_verbs():
+    args = build_parser().parse_args(["scenario", "sweep", "flash-crowd",
+                                      "--jobs", "4", "--quick"])
+    assert args.scenario_command == "sweep"
+    assert args.name == "flash-crowd"
+    assert args.jobs == 4
+    assert args.quick
+
+
+def test_scenario_requires_a_verb():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["scenario"])
+
+
+def test_scenario_list_shows_the_library(capsys):
+    rc = main(["scenario", "list"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for name in scenarios.names():
+        assert name in out
+    assert len(scenarios.names()) >= 6
+
+
+def test_scenario_show_prints_round_trippable_json(capsys):
+    rc = main(["scenario", "show", "failure-cascade"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    spec = scenarios.ScenarioSpec.from_dict(json.loads(out))
+    assert spec == scenarios.get("failure-cascade")
+
+
+def test_scenario_run_prints_case_table(capsys):
+    rc = main(["scenario", "run", "flash-crowd", "--quick"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "flash-crowd" in out
+    assert "base" in out and "ms-8" in out
+    assert "ok" in out
+
+
+def test_scenario_sweep_writes_artifact(tmp_path, capsys):
+    out_file = tmp_path / "sweep.json"
+    rc = main(["scenario", "sweep", "battery-cliff", "--quick",
+               "--out", str(out_file)])
+    printed = capsys.readouterr().out
+    assert rc == 0
+    assert str(out_file) in printed
+    data = json.loads(out_file.read_text())
+    assert data["scenario"] == "battery-cliff"
+    assert data["n_cases"] == len(scenarios.get("battery-cliff").matrix)
+
+
+def test_scenario_unknown_name_is_a_clean_error(capsys):
+    rc = main(["scenario", "show", "no-such-scenario"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unknown scenario" in err
+    assert "paper-fig8" in err  # the error lists what IS registered
+
+
+def test_scenario_bad_jobs_is_a_clean_error(capsys):
+    rc = main(["scenario", "sweep", "flash-crowd", "--jobs", "0"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "--jobs" in err

@@ -1,0 +1,182 @@
+"""Tests for the scripted-event injector driving a live system."""
+
+import pytest
+
+from repro.scenarios import EventDirector, build_system
+from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
+
+
+def run_spec(spec, app="bcp", scheme="ms-8", seed=3):
+    system = build_system(spec, app, scheme, seed)
+    director = EventDirector(system, spec)
+    director.install()
+    system.start()
+    director.schedule()
+    system.run(spec.duration_s)
+    return system
+
+
+def base_spec(**kwargs):
+    defaults = dict(
+        name="t", duration_s=240.0, warmup_s=40.0, idle_per_region=4,
+        checkpoint_period_s=60.0,
+        matrix=MatrixSpec(apps=("bcp",), schemes=("ms-8",), seeds=(3,)),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+def categories(system, category):
+    return [r for r in system.trace.records if r.category == category]
+
+
+def test_crash_event_fires_the_injector():
+    spec = base_spec(events=(EventSpec(kind="crash", time=100.0, phones=(3, 4)),))
+    system = run_spec(spec)
+    crashed = {r.data["phone"] for r in categories(system, "phone_crashed")}
+    assert {"region0.p3", "region0.p4"} <= crashed
+    assert system.metrics(warmup_s=0.0).recoveries >= 1
+
+
+def test_cascade_staggers_crashes():
+    spec = base_spec(events=(
+        EventSpec(kind="cascade", time=100.0, phones=(3, 4, 5), interval=25.0),
+    ))
+    system = run_spec(spec)
+    times = {r.data["phone"]: r.time for r in categories(system, "failure_injected")}
+    assert times["region0.p3"] == pytest.approx(100.0)
+    assert times["region0.p4"] == pytest.approx(125.0)
+    assert times["region0.p5"] == pytest.approx(150.0)
+
+
+def test_depart_event_walks_phones_out():
+    spec = base_spec(events=(EventSpec(kind="depart", time=100.0, phones=(3,)),))
+    system = run_spec(spec)
+    departed = {r.data["phone"] for r in categories(system, "phone_departed")}
+    assert "region0.p3" in departed
+    assert system.metrics(warmup_s=0.0).departures_handled >= 1
+
+
+def test_join_event_admits_idle_spares():
+    spec = base_spec(events=(EventSpec(kind="join", time=50.0, count=2),))
+    system = run_spec(spec)
+    joined = categories(system, "phone_joined")
+    assert len(joined) == 2
+    region = system.regions[0]
+    new_ids = {r.data["phone"] for r in joined}
+    assert new_ids <= set(region.phones)
+    assert new_ids <= set(region.idle_ids)
+
+
+def test_joined_phone_is_promotable_after_later_crashes():
+    # Exhaust the original spares, then crash once more: the recovery must
+    # promote the joined phone.
+    spec = base_spec(
+        idle_per_region=1,
+        events=(
+            EventSpec(kind="join", time=30.0, count=1),
+            EventSpec(kind="crash", time=80.0, phones=(3,)),
+            EventSpec(kind="crash", time=150.0, phones=(4,)),
+        ),
+    )
+    system = run_spec(spec)
+    assert not system.regions[0].stopped
+    assert system.metrics(warmup_s=0.0).recoveries >= 2
+
+
+def test_handoff_moves_phone_down_the_cascade():
+    spec = base_spec(
+        n_regions=2,
+        events=(EventSpec(kind="handoff", time=100.0, region=0, phones=(3,),
+                          to_region=1),),
+    )
+    system = run_spec(spec)
+    departed = {r.data["phone"] for r in categories(system, "phone_departed")}
+    assert "region0.p3" in departed
+    joined = [r for r in categories(system, "phone_joined")
+              if r.data["region"] == "region1"]
+    assert len(joined) == 1
+    new_id = joined[0].data["phone"]
+    assert new_id in system.regions[1].phones
+
+
+def test_handoff_default_target_is_next_region():
+    spec = base_spec(
+        n_regions=2,
+        events=(EventSpec(kind="handoff", time=100.0, region=0, phones=(3,)),),
+    )
+    system = run_spec(spec)
+    assert any(r.data["region"] == "region1"
+               for r in categories(system, "phone_joined"))
+
+
+def test_surge_speeds_sources_up_then_restores():
+    quiet = run_spec(base_spec(), scheme="base")
+    surged = run_spec(base_spec(events=(
+        EventSpec(kind="surge", time=80.0, factor=4.0, until=160.0),
+    )), scheme="base")
+    n_quiet = quiet.trace.value("region0.source_inputs")
+    n_surged = surged.trace.value("region0.source_inputs")
+    assert n_surged > n_quiet * 1.3
+    marks = categories(surged, "workload_surge")
+    assert [m.data["factor"] for m in marks] == [4.0, 1.0]
+
+
+def test_battery_event_triggers_chronic_self_report():
+    spec = base_spec(events=(
+        EventSpec(kind="battery", time=100.0, phones=(3,), charge=0.02),
+    ))
+    system = run_spec(spec)
+    assert categories(system, "battery_dropped")
+    reported = {r.data["phone"] for r in categories(system, "self_report")}
+    assert "region0.p3" in reported
+
+
+def test_churn_departs_phones_at_random_times_deterministically():
+    spec = base_spec(events=(
+        EventSpec(kind="churn", time=20.0, phones=(3, 4), interval=40.0),
+    ))
+    a = run_spec(spec)
+    b = run_spec(spec)
+    times_a = [(r.time, r.data["phone"]) for r in categories(a, "phone_departed")]
+    times_b = [(r.time, r.data["phone"]) for r in categories(b, "phone_departed")]
+    assert times_a and times_a == times_b
+
+
+def test_concurrent_churn_waves_are_independent():
+    # Two churn events must not share an RNG stream: their departure gap
+    # sequences have to differ.
+    spec = base_spec(
+        n_regions=2,
+        events=(
+            EventSpec(kind="churn", time=20.0, region=0, phones=(3, 4), interval=40.0),
+            EventSpec(kind="churn", time=20.0, region=1, phones=(3, 4), interval=40.0),
+        ),
+    )
+    system = run_spec(spec)
+    by_region = {}
+    for r in categories(system, "phone_departed"):
+        by_region.setdefault(r.data["region"], []).append(r.time)
+    assert by_region["region0"] != by_region["region1"]
+
+
+def test_battery_event_skips_departed_phones():
+    spec = base_spec(events=(
+        EventSpec(kind="depart", time=60.0, phones=(3,)),
+        EventSpec(kind="battery", time=120.0, phones=(3,), charge=0.02),
+    ))
+    system = run_spec(spec)
+    assert not categories(system, "battery_dropped")
+
+
+def test_event_order_is_preserved_for_same_time_events():
+    # Two events at the same instant apply in listed order: the crash is
+    # observed before the departure of a different phone.
+    spec = base_spec(events=(
+        EventSpec(kind="crash", time=100.0, phones=(3,)),
+        EventSpec(kind="depart", time=100.0, phones=(4,)),
+    ))
+    system = run_spec(spec)
+    at_100 = [r.category for r in system.trace.records
+              if r.time == 100.0 and r.category in ("phone_crashed", "phone_departed")]
+    assert at_100.index("phone_crashed") < at_100.index("phone_departed")

@@ -1,0 +1,107 @@
+"""Tests for the sweep executor: determinism, parallelism, artifacts."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro import scenarios
+from repro.scenarios.runner import case_to_dict, run_case, run_sweep
+from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
+
+
+def small_spec(**kwargs):
+    defaults = dict(
+        name="sweep-t", duration_s=200.0, warmup_s=40.0, idle_per_region=4,
+        checkpoint_period_s=60.0,
+        matrix=MatrixSpec(apps=("bcp",), schemes=("base", "ms-8"), seeds=(3, 4)),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+def test_run_case_produces_metrics():
+    result = run_case(small_spec(), "bcp", "base", 3)
+    assert result.report.per_region["region0"].output_tuples > 0
+    assert result.region_stopped == [False]
+
+
+def test_case_dict_is_strict_json():
+    d = case_to_dict(run_case(small_spec(), "bcp", "base", 3))
+    parsed = json.loads(json.dumps(d))  # would raise on NaN with allow_nan=False below
+    json.dumps(d, allow_nan=False)
+    assert parsed["app"] == "bcp"
+    assert parsed["regions"]["region0"]["output_tuples"] > 0
+
+
+def test_sweep_runs_the_whole_matrix_in_order():
+    spec = small_spec()
+    result = run_sweep(spec, jobs=1)
+    assert result["n_cases"] == 4
+    order = [(c["app"], c["scheme"], c["seed"]) for c in result["cases"]]
+    assert order == list(spec.matrix.cases())
+
+
+def test_parallel_sweep_is_byte_identical_to_serial():
+    """The acceptance bar: a 2 (scheme) x 2 (seed) sweep aggregated via
+    --jobs 4 must serialize byte-for-byte the same as --jobs 1."""
+    spec = small_spec()
+    serial = scenarios.dumps_result(run_sweep(spec, jobs=1))
+    parallel = scenarios.dumps_result(run_sweep(spec, jobs=4))
+    assert serial == parallel
+
+
+def test_parallel_sweep_with_events_is_deterministic():
+    spec = small_spec(events=(
+        EventSpec(kind="crash", time=100.0, phones=(3,)),
+        EventSpec(kind="surge", time=60.0, factor=2.0, until=120.0),
+    ))
+    serial = scenarios.dumps_result(run_sweep(spec, jobs=1))
+    parallel = scenarios.dumps_result(run_sweep(spec, jobs=2))
+    assert serial == parallel
+
+
+def test_sweep_writes_canonical_artifact(tmp_path):
+    spec = small_spec(matrix=MatrixSpec(apps=("bcp",), schemes=("base",), seeds=(3,)))
+    out = tmp_path / "artifacts" / "sweep.json"
+    result = run_sweep(spec, jobs=1, out_path=str(out))
+    assert out.exists()
+    on_disk = out.read_text()
+    assert on_disk == scenarios.dumps_result(result) + "\n"
+    assert json.loads(on_disk)["scenario"] == "sweep-t"
+
+
+def test_sweep_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_sweep(small_spec(), jobs=0)
+
+
+def test_run_experiment_equals_scenario_path():
+    """The refactored harness and the scenario runner are the same code
+    path: identical numbers for the identical deployment."""
+    from repro.bench.harness import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(app="bcp", scheme="ms-8", duration_s=400.0,
+                           warmup_s=40.0, seed=3, idle_per_region=4,
+                           checkpoint_period_s=60.0, crash=(100.0, [3]))
+    out = run_experiment(cfg)
+    case = run_case(cfg.to_scenario(), "bcp", "ms-8", 3)
+    assert out.report.per_region["region0"].output_tuples > 0
+    assert out.throughput == case.report.per_region["region0"].throughput_tps
+    assert out.latency == case.report.per_region["region0"].mean_latency_s
+    assert out.recoveries == case.report.recoveries
+
+
+@pytest.mark.skipif(os.cpu_count() in (None, 1),
+                    reason="speedup needs more than one core")
+def test_parallel_sweep_is_faster_on_multicore():
+    import time
+
+    spec = small_spec(
+        duration_s=600.0, warmup_s=100.0,
+        matrix=MatrixSpec(apps=("bcp",), schemes=("base", "ms-8"), seeds=(3, 4)),
+    )
+    t0 = time.time(); run_sweep(spec, jobs=1); serial = time.time() - t0
+    t0 = time.time(); run_sweep(spec, jobs=min(4, os.cpu_count())); par = time.time() - t0
+    assert par < serial
