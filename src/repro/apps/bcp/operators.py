@@ -24,7 +24,7 @@ from repro.apps.bcp.models import (
     BoardingModel,
     CapacityModel,
 )
-from repro.apps.vision import FrameSpec, detect_blobs, render_gray
+from repro.apps.vision import FrameSpec, count_blobs
 from repro.core.operator import Operator, OperatorContext, SinkOperator, SourceOperator
 from repro.core.tuples import StreamTuple
 from repro.util.units import KB
@@ -182,8 +182,7 @@ class FaceCounter(Operator):
 
     def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
         spec: FrameSpec = tup.payload["frame"]
-        img, _truth = render_gray(spec)
-        count = len(detect_blobs(img))
+        count = count_blobs(spec)
         self.frames_counted += 1
         out = {"waiting": count, "frame_seq": tup.source_seq}
         return [tup.derive(out, KB)]

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.apps.signalguru.svm import LinearSVM
-from repro.apps.vision import FrameSpec, circularity, detect_blobs, render_color
+from repro.apps.vision import FrameSpec, brightest_blob, channel_maxima
 from repro.core.operator import Operator, OperatorContext, SinkOperator, SourceOperator
 from repro.core.tuples import StreamTuple
 from repro.util.units import KB
@@ -67,13 +67,12 @@ class ColorFilter(Operator):
         data = tup.payload
         spec: FrameSpec = data["frame"]
         color: str = data["true_color"]
-        img = render_color(spec, color)
-        # Dominant-channel detection: which hue shows lit blobs?
-        scores = {
-            "red": float(img[..., 0].max() - img[..., 1].max()),
-            "green": float(img[..., 1].max() - img[..., 0].max()),
-        }
-        yellowness = float(min(img[..., 0].max(), img[..., 1].max()))
+        # Dominant-channel detection: which hue shows lit blobs?  The
+        # channel maxima are memoized per (frame, hue) — replicas and the
+        # downstream shape filter reuse the same rendering.
+        red_max, green_max = channel_maxima(spec, color)
+        scores = {"red": red_max - green_max, "green": green_max - red_max}
+        yellowness = min(red_max, green_max)
         if yellowness > 0.6:
             detected = "yellow"
         elif scores["red"] > 0.2:
@@ -101,14 +100,10 @@ class ShapeFilter(Operator):
     def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
         data = tup.payload
         spec: FrameSpec = data["frame"]
-        img = render_color(spec, data["true_color"]).max(axis=-1)
-        blobs = detect_blobs(img)
-        if not blobs:
+        hit = brightest_blob(spec, data["true_color"])
+        if hit is None:
             return []
-        cy, cx = blobs[0]
-        half = 6
-        patch = img[max(0, cy - half):cy + half, max(0, cx - half):cx + half]
-        circ = circularity(patch)
+        _cy, _cx, circ = hit
         if circ < self.min_circularity:
             return []
         out = dict(data)
@@ -181,7 +176,10 @@ class VotingFilter(Operator):
         self.recent.append(data["detected_color"])
         if len(self.recent) > self.window:
             self.recent.pop(0)
-        winner = max(set(self.recent), key=self.recent.count)
+        # dict.fromkeys gives first-seen order for the tie-break; a bare
+        # set() here made tied votes follow the process's str-hash seed,
+        # so the same run produced different artifacts across invocations.
+        winner = max(dict.fromkeys(self.recent), key=self.recent.count)
         if winner != data["detected_color"]:
             return []  # outvoted: discard this detection
         data["voted_color"] = winner

@@ -139,8 +139,9 @@ def broadcast_checkpoint(
     last_block_size = total_size - (n_blocks - 1) * block
 
     outcome = BroadcastOutcome(total_size=total_size, n_blocks=n_blocks)
+    ft_bytes = trace.counter("ft.network_bytes") if trace is not None else None
     have: Dict[Any, np.ndarray] = {
-        m: np.zeros(n_blocks, dtype=bool) for m in wifi.members if m != sender
+        m: np.zeros(n_blocks, dtype=bool) for m in wifi.iter_members() if m != sender
     }
     if not have:
         return outcome
@@ -160,10 +161,10 @@ def broadcast_checkpoint(
             if bm is not None:
                 bm[to_send[got]] = True
         outcome.udp_bytes += result.bytes_sent
-        if trace is not None:
+        if ft_bytes is not None:
             # Counted as the bytes hit the air (a slow broadcast must not
             # hide its in-flight cost from the Fig. 10 counters).
-            trace.count("ft.network_bytes", result.bytes_sent)
+            ft_bytes.add(result.bytes_sent)
         cost = result.bytes_sent
 
         # Query every receiver for its bitmap (request + reply).
@@ -175,8 +176,8 @@ def broadcast_checkpoint(
                 yield from wifi.control_exchange(sender, member, reply + 64)
                 cost += reply
                 outcome.udp_bytes += reply
-                if trace is not None:
-                    trace.count("ft.network_bytes", reply)
+                if ft_bytes is not None:
+                    ft_bytes.add(reply)
             except Unreachable:
                 continue
 
@@ -226,8 +227,8 @@ def broadcast_checkpoint(
                 except Unreachable:
                     continue
                 outcome.tcp_bytes += nbytes
-                if trace is not None:
-                    trace.count("ft.network_bytes", nbytes)
+                if ft_bytes is not None:
+                    ft_bytes.add(nbytes)
                 bm = have.get(child)
                 if bm is not None:
                     bm[:] = True

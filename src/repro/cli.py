@@ -12,6 +12,11 @@ Commands
     The scenario engine: ``list`` the named library, ``show`` a spec as
     JSON, ``run`` a scenario's matrix serially, or ``sweep`` it across
     a process pool (``--jobs N``) into a JSON artifact.
+``perf``
+    The performance subsystem: ``run`` the benchmark suites into
+    ``BENCH_<suite>.json`` artifacts, ``compare`` a run against the
+    committed baseline with a regression threshold (non-zero exit on
+    regression — the CI perf-smoke gate).
 ``info``
     List the available applications, schemes, and the paper's reference
     numbers.
@@ -26,6 +31,8 @@ Examples
     python -m repro scenario list
     python -m repro scenario run paper-fig8 --quick
     python -m repro scenario sweep flash-crowd --jobs 4 --out sweep.json
+    python -m repro perf run --quick
+    python -m repro perf compare --threshold 0.25
     python -m repro info
 """
 
@@ -107,6 +114,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time-compress the scenario to ~300 sim seconds")
         p.add_argument("--out", default=None, metavar="FILE",
                        help="also write the aggregated metrics JSON here")
+        layout = p.add_mutually_exclusive_group()
+        layout.add_argument("--compact", dest="compact", action="store_true",
+                            default=None,
+                            help="write separators-only JSON (automatic for "
+                                 "sweeps of >= 100 cases)")
+        layout.add_argument("--pretty", dest="compact", action="store_false",
+                            help="force indented JSON even for huge sweeps")
+
+    perf_p = sub.add_parser("perf", help="performance benchmarks")
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+    perf_run = perf_sub.add_parser(
+        "run", help="run benchmark suites, write BENCH_<suite>.json")
+    perf_run.add_argument("--quick", action="store_true",
+                          help="smaller workloads (completes in <60s)")
+    perf_run.add_argument("--suite", action="append", dest="suites",
+                          metavar="NAME", default=None,
+                          help="run only this suite (repeatable)")
+    perf_run.add_argument("--out-dir", default=None, metavar="DIR",
+                          help="artifact directory "
+                               "(default benchmarks/results)")
+    perf_cmp = perf_sub.add_parser(
+        "compare", help="compare a run against the committed baseline")
+    perf_cmp.add_argument("--baseline", default=None, metavar="DIR",
+                          help="baseline artifacts "
+                               "(default benchmarks/baselines)")
+    perf_cmp.add_argument("--current", default=None, metavar="DIR",
+                          help="fresh artifacts (default benchmarks/results)")
+    perf_cmp.add_argument("--threshold", type=float, default=0.25,
+                          help="allowed slowdown fraction before failing "
+                               "(default 0.25 = +25%%)")
+    perf_cmp.add_argument("--suite", action="append", dest="suites",
+                          metavar="NAME", default=None,
+                          help="compare only this suite (repeatable)")
 
     sub.add_parser("info", help="list apps, schemes, paper numbers")
     return parser
@@ -188,12 +228,14 @@ def cmd_scenario(args) -> int:
         return 2
     if args.quick:
         spec = spec.quick()
-    result = scenarios.run_sweep(spec, jobs=args.jobs, out_path=args.out)
+    compact = getattr(args, "compact", None)
+    result = scenarios.run_sweep(spec, jobs=args.jobs, out_path=args.out,
+                                 compact=compact)
     if args.scenario_command == "sweep" and args.out:
         print(f"{result['n_cases']} cases -> {args.out}")
         return 0
     if args.scenario_command == "sweep":
-        print(scenarios.dumps_result(result))
+        print(scenarios.dumps_result(result, compact=compact))
         return 0
     rows = []
     stopped_any = False
@@ -214,6 +256,21 @@ def cmd_scenario(args) -> int:
          "recoveries", "departures", "outcome"],
         rows, title=f"scenario {spec.name} — {result['n_cases']} cases"))
     return 1 if stopped_any else 0
+
+
+def cmd_perf(args) -> int:
+    from repro.perf import cli as perf_cli
+
+    if args.perf_command == "run":
+        return perf_cli.cmd_perf_run(
+            out_dir=args.out_dir or perf_cli.DEFAULT_RESULTS_DIR,
+            suites=args.suites, quick=args.quick,
+        )
+    return perf_cli.cmd_perf_compare(
+        baseline_dir=args.baseline or perf_cli.DEFAULT_BASELINE_DIR,
+        current_dir=args.current or perf_cli.DEFAULT_RESULTS_DIR,
+        threshold=args.threshold, suites=args.suites,
+    )
 
 
 def cmd_info(args) -> int:
@@ -241,7 +298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     return {"run": cmd_run, "bench": cmd_bench, "scenario": cmd_scenario,
-            "info": cmd_info}[args.command](args)
+            "perf": cmd_perf, "info": cmd_info}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

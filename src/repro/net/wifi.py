@@ -104,12 +104,37 @@ class WifiCell:
         self._members: Dict[Any, DeliverFn] = {}
         self._loss: Dict[Any, LossModel] = {}
         self._rng = rng.stream(f"{name}.loss")
+        # Pre-resolved counter handles: the per-transmission f-string key
+        # build plus two dict lookups used to run on every datagram.
+        if trace is not None:
+            self._bytes_total = trace.counter("net.wifi.bytes")
+            self._bytes_cell = trace.counter(f"net.wifi.{name}.bytes")
+        else:
+            self._bytes_total = None
+            self._bytes_cell = None
 
     # -- membership -------------------------------------------------------
     @property
     def members(self) -> List[Any]:
-        """Ids of phones currently in the cell."""
+        """Ids of phones currently in the cell (a fresh list).
+
+        Allocates a copy per access; hot paths should use
+        :meth:`iter_members` / :meth:`member_count` instead.
+        """
         return list(self._members)
+
+    def iter_members(self):
+        """Iterate member ids without copying.
+
+        The view is live: callers must not join/leave the cell while
+        iterating (none of the protocol code does).
+        """
+        return iter(self._members)
+
+    @property
+    def member_count(self) -> int:
+        """Number of phones currently in the cell."""
+        return len(self._members)
 
     def join(self, member_id: Any, deliver: DeliverFn) -> None:
         """Add a phone to the cell with its delivery callback."""
@@ -131,9 +156,10 @@ class WifiCell:
         return transmission_time(size, self.config.bandwidth_bps)
 
     def _count(self, n_bytes: float) -> None:
-        if self.trace is not None:
-            self.trace.count("net.wifi.bytes", n_bytes)
-            self.trace.count(f"net.wifi.{self.name}.bytes", n_bytes)
+        total = self._bytes_total
+        if total is not None:
+            total.add(n_bytes)
+            self._bytes_cell.add(n_bytes)
 
     # -- datagram (UDP) ----------------------------------------------------
     def udp_unicast(self, msg: Message):
@@ -156,7 +182,7 @@ class WifiCell:
             return False
         if not self._loss[msg.dst].sample_one(self._rng):
             return False
-        self.sim.call_in(self.config.latency_s, lambda: deliver(msg))
+        self.sim.call_in(self.config.latency_s, deliver, msg)
         return True
 
     def udp_broadcast_round(
@@ -216,7 +242,9 @@ class WifiCell:
         total_frags = int(frags.sum())
         starts = np.cumsum(frags) - frags
         received: Dict[Any, np.ndarray] = {}
-        for member_id in list(self._members):
+        # No yields inside this loop, so membership cannot change under
+        # us: iterate the live dict instead of copying it every round.
+        for member_id in self._members:
             if member_id == sender:
                 continue
             frag_ok = self._loss[member_id].sample(total_frags, self._rng)
@@ -255,7 +283,7 @@ class WifiCell:
             # Destination left mid-transfer.
             raise Unreachable(f"{msg.dst} left cell {self.name} during transfer")
         msg.created_at = self.sim.now
-        self.sim.call_in(self.config.latency_s, lambda: deliver(msg))
+        self.sim.call_in(self.config.latency_s, deliver, msg)
         return True
 
     def control_exchange(self, a: Any, b: Any, size_bytes: int):

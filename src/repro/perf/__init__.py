@@ -1,0 +1,28 @@
+"""Continuous performance benchmarking: ``python -m repro perf run|compare``.
+
+The subsystem has three layers:
+
+* :mod:`repro.perf.suites` — the benchmark definitions: microbenchmarks
+  over the simulation kernel, the trace monitor, WiFi broadcast, and
+  checkpoint rounds, plus full named-scenario runs.  Every case reports
+  wall seconds and, where meaningful, kernel events/second and simulated
+  seconds per wall second.
+* :mod:`repro.perf.artifacts` — ``BENCH_<suite>.json`` artifacts with
+  machine/python metadata, so numbers from different hosts are never
+  compared silently.
+* :mod:`repro.perf.compare` — baseline comparison with a regression
+  threshold and meaningful exit codes (0 ok, 1 regression, 2 usage
+  error), used by the ``perf-smoke`` CI job.
+
+The committed baseline lives in ``benchmarks/baselines/``; fresh runs
+default to ``benchmarks/results/``.
+"""
+
+from repro.perf.artifacts import (  # noqa: F401
+    BENCH_PREFIX,
+    artifact_name,
+    load_artifacts,
+    write_artifact,
+)
+from repro.perf.compare import compare_artifacts  # noqa: F401
+from repro.perf.suites import SUITES, run_suite  # noqa: F401

@@ -1,0 +1,80 @@
+"""``BENCH_<suite>.json`` artifacts: schema, writing, loading.
+
+An artifact records one suite's measurements *plus* the machine and
+Python context they were taken in.  Comparisons across different
+machines are flagged by :mod:`repro.perf.compare` rather than silently
+trusted — wall-clock numbers only mean something against a baseline from
+the same host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Any, Dict
+
+import numpy as np
+
+#: Artifact filename prefix; ``BENCH_sim_kernel.json`` etc.
+BENCH_PREFIX = "BENCH_"
+
+#: Bumped whenever the result schema changes shape.
+SCHEMA_VERSION = 1
+
+
+def machine_meta() -> Dict[str, Any]:
+    """Machine/python metadata embedded in every artifact."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "executable": os.path.basename(sys.executable),
+    }
+
+
+def artifact_name(suite: str) -> str:
+    """Filename for a suite's artifact."""
+    return f"{BENCH_PREFIX}{suite}.json"
+
+
+def make_artifact(
+    suite: str, results: Dict[str, Dict[str, float]], quick: bool
+) -> Dict[str, Any]:
+    """Assemble the artifact dict for one suite run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "quick": quick,
+        "meta": machine_meta(),
+        "results": results,
+    }
+
+
+def write_artifact(out_dir: str, artifact: Dict[str, Any]) -> str:
+    """Write one artifact as canonical JSON; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, artifact_name(artifact["suite"]))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_artifacts(dir_path: str) -> Dict[str, Dict[str, Any]]:
+    """Load every ``BENCH_*.json`` in ``dir_path``, keyed by suite name."""
+    out: Dict[str, Dict[str, Any]] = {}
+    if not os.path.isdir(dir_path):
+        return out
+    for name in sorted(os.listdir(dir_path)):
+        if not (name.startswith(BENCH_PREFIX) and name.endswith(".json")):
+            continue
+        with open(os.path.join(dir_path, name), encoding="utf-8") as fh:
+            artifact = json.load(fh)
+        out[artifact["suite"]] = artifact
+    return out

@@ -1,0 +1,76 @@
+"""``python -m repro perf ...`` command implementations.
+
+The argument parsing lives in :mod:`repro.cli`; this module holds the
+handlers so the perf machinery can also be driven programmatically.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+from repro.perf.artifacts import load_artifacts, make_artifact, write_artifact
+from repro.perf.compare import compare_artifacts, format_report
+from repro.perf.suites import run_suite, suite_names
+
+#: Default directories, relative to the repo root.
+DEFAULT_RESULTS_DIR = "benchmarks/results"
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+
+
+def cmd_perf_run(
+    out_dir: str = DEFAULT_RESULTS_DIR,
+    suites: Optional[List[str]] = None,
+    quick: bool = False,
+    stream=None,
+) -> int:
+    """Run the selected suites and write one artifact per suite."""
+    stream = stream or sys.stdout
+    selected = suites or suite_names()
+    unknown = [s for s in selected if s not in suite_names()]
+    if unknown:
+        print(f"error: unknown suite(s) {unknown}; have {suite_names()}",
+              file=sys.stderr)
+        return 2
+    t0 = time.perf_counter()
+    for suite in selected:
+        t_suite = time.perf_counter()
+        results = run_suite(suite, quick=quick)
+        path = write_artifact(out_dir, make_artifact(suite, results, quick))
+        wall = time.perf_counter() - t_suite
+        print(f"[{suite}] {len(results)} case(s) in {wall:.1f}s -> {path}",
+              file=stream)
+        for case, metrics in results.items():
+            extras = []
+            if "events_per_s" in metrics:
+                extras.append(f"{metrics['events_per_s']:,.0f} ev/s")
+            if "sim_s_per_wall_s" in metrics:
+                extras.append(f"{metrics['sim_s_per_wall_s']:,.0f} sim-s/s")
+            suffix = f" ({', '.join(extras)})" if extras else ""
+            print(f"    {case:<40} {metrics['wall_s']:.3f}s{suffix}",
+                  file=stream)
+    print(f"total: {time.perf_counter() - t0:.1f}s", file=stream)
+    return 0
+
+
+def cmd_perf_compare(
+    baseline_dir: str = DEFAULT_BASELINE_DIR,
+    current_dir: str = DEFAULT_RESULTS_DIR,
+    threshold: float = 0.25,
+    suites: Optional[List[str]] = None,
+    stream=None,
+) -> int:
+    """Compare ``current_dir`` against ``baseline_dir``; exit code 0/1/2."""
+    stream = stream or sys.stdout
+    if threshold < 0:
+        print("error: threshold must be >= 0", file=sys.stderr)
+        return 2
+    report = compare_artifacts(
+        load_artifacts(baseline_dir),
+        load_artifacts(current_dir),
+        threshold=threshold,
+        suites=suites,
+    )
+    print(format_report(report), file=stream)
+    return report.exit_code

@@ -1,0 +1,176 @@
+"""Baseline comparison with regression thresholds.
+
+``python -m repro perf compare`` loads two directories of
+``BENCH_*.json`` artifacts (a committed baseline and a fresh run) and
+compares wall times case by case.  A case regresses when
+
+    current_wall > baseline_wall * (1 + threshold)
+
+Exit codes (wired through the CLI):
+
+* 0 — no regression
+* 1 — at least one regression above the threshold
+* 2 — usage error (no artifacts, quick/full mix-up)
+
+Quick-vs-full comparisons are refused outright (exit 2): their
+workloads differ, so the ratio is meaningless.  Cross-host comparisons
+(different machine/platform metadata) still run but carry a loud
+warning — the committed-baseline CI gate depends on comparing, and the
+warning tells the reader how much to trust the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class CaseComparison:
+    """One benchmark case, baseline vs. current."""
+
+    suite: str
+    case: str
+    baseline_wall_s: float
+    current_wall_s: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline; > 1 means slower."""
+        if self.baseline_wall_s <= 0:
+            return float("inf") if self.current_wall_s > 0 else 1.0
+        return self.current_wall_s / self.baseline_wall_s
+
+    def regressed(self, threshold: float) -> bool:
+        """Whether the slowdown exceeds ``threshold`` (0.25 = +25%)."""
+        return self.ratio > 1.0 + threshold
+
+
+@dataclass
+class ComparisonReport:
+    """Every compared case plus bookkeeping for the exit code."""
+
+    threshold: float
+    cases: List[CaseComparison] = field(default_factory=list)
+    #: (suite, case) present on one side only.
+    missing: List[str] = field(default_factory=list)
+    #: Human-readable reasons the comparison is unsound (exit code 2).
+    errors: List[str] = field(default_factory=list)
+    #: Non-fatal notes (e.g. different machine metadata).
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        """Cases slower than the threshold allows."""
+        return [c for c in self.cases if c.regressed(self.threshold)]
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.regressions else 0
+
+
+#: Metadata keys whose mismatch means the hosts differ — wall times are
+#: then only indicative.  "platform" carries the OS/kernel string, which
+#: is what actually distinguishes a laptop from a CI runner when both
+#: report machine=x86_64.
+_STRICT_META = ("machine", "platform", "processor", "implementation")
+
+
+def compare_artifacts(
+    baseline: Dict[str, Dict[str, Any]],
+    current: Dict[str, Dict[str, Any]],
+    threshold: float = 0.25,
+    suites: Optional[List[str]] = None,
+) -> ComparisonReport:
+    """Compare two artifact sets (as returned by ``load_artifacts``)."""
+    report = ComparisonReport(threshold=threshold)
+    if not baseline:
+        report.errors.append("no baseline artifacts found")
+    if not current:
+        report.errors.append("no current artifacts found")
+    if report.errors:
+        return report
+
+    names = [s for s in current if s in baseline]
+    if suites is not None:
+        names = [s for s in names if s in suites]
+    # A suite present on one side only must be visible: a deleted or
+    # renamed suite would otherwise silently drop out of the gate.
+    for s in baseline:
+        if s not in current and (suites is None or s in suites):
+            report.missing.append(f"{s} (whole suite, current)")
+    for s in current:
+        if s not in baseline and (suites is None or s in suites):
+            report.missing.append(f"{s} (whole suite, baseline)")
+    if not names:
+        report.errors.append("baseline and current share no suites")
+        return report
+
+    for suite in names:
+        base_art, cur_art = baseline[suite], current[suite]
+        if bool(base_art.get("quick")) != bool(cur_art.get("quick")):
+            report.errors.append(
+                f"{suite}: quick/full mismatch (baseline quick="
+                f"{base_art.get('quick')}, current quick={cur_art.get('quick')})"
+            )
+            continue
+        for key in _STRICT_META:
+            b = base_art.get("meta", {}).get(key)
+            c = cur_art.get("meta", {}).get(key)
+            if b != c:
+                report.warnings.append(
+                    f"{suite}: baseline {key}={b!r} vs current {key}={c!r} — "
+                    "wall times across hosts are only indicative"
+                )
+        base_results = base_art.get("results", {})
+        cur_results = cur_art.get("results", {})
+        for case in base_results:
+            if case not in cur_results:
+                report.missing.append(f"{suite}/{case} (current)")
+                continue
+            report.cases.append(CaseComparison(
+                suite=suite,
+                case=case,
+                baseline_wall_s=float(base_results[case]["wall_s"]),
+                current_wall_s=float(cur_results[case]["wall_s"]),
+            ))
+        for case in cur_results:
+            if case not in base_results:
+                report.missing.append(f"{suite}/{case} (baseline)")
+
+    if not report.cases and not report.errors:
+        report.errors.append("no overlapping benchmark cases to compare")
+    return report
+
+
+def format_report(report: ComparisonReport) -> str:
+    """Plain-text comparison table."""
+    lines: List[str] = []
+    header = f"{'suite':<16} {'case':<34} {'baseline':>10} {'current':>10} {'ratio':>7}  status"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for c in sorted(report.cases, key=lambda c: (c.suite, c.case)):
+        if c.regressed(report.threshold):
+            status = "REGRESSION"
+        elif c.ratio < 1.0 - report.threshold:
+            status = "faster"
+        else:
+            status = "ok"
+        lines.append(
+            f"{c.suite:<16} {c.case:<34} {c.baseline_wall_s:>9.3f}s "
+            f"{c.current_wall_s:>9.3f}s {c.ratio:>6.2f}x  {status}"
+        )
+    for name in report.missing:
+        lines.append(f"missing: {name}")
+    for warning in report.warnings:
+        lines.append(f"warning: {warning}")
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    n_reg = len(report.regressions)
+    lines.append(
+        f"{len(report.cases)} cases compared, {n_reg} regression(s) "
+        f"at +{report.threshold * 100:.0f}% threshold"
+    )
+    return "\n".join(lines)

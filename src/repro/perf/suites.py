@@ -1,0 +1,369 @@
+"""Benchmark suite definitions.
+
+Four microbenchmark suites exercise the layers the hot-path work targets
+(simulation kernel, trace monitor, WiFi broadcast, checkpoint rounds);
+the ``scenarios`` suite times full named-scenario cases end to end, which
+is the number the ≥3x speedup acceptance criterion is measured on.
+
+Each case returns a metrics dict with at least ``wall_s``; kernel-driven
+cases add ``events``, ``events_per_s``, and (for scenario runs)
+``sim_s`` / ``sim_s_per_wall_s`` — simulated seconds per wall second is
+the simulator's "speed of light" number.
+
+Microbenchmark cases repeat a few times and keep the best wall time (the
+standard trick to strip scheduler noise); scenario cases run once — they
+are long enough to be stable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.sim.core import Simulator
+from repro.sim.monitor import Trace
+from repro.sim.rng import RngRegistry
+
+#: suite name -> list of (case name, factory); the factory receives
+#: ``quick`` and returns a zero-arg callable measuring one run.
+CaseFn = Callable[[], Dict[str, float]]
+SUITES: Dict[str, List[Tuple[str, Callable[[bool], CaseFn]]]] = {}
+
+#: Repeats for microbenchmark cases (best-of); scenario cases run once.
+#: Quick mode repeats more: its cases are milliseconds long, so best-of
+#: needs more samples to shake scheduler noise out of the CI gate.
+MICRO_REPEATS = 3
+MICRO_REPEATS_QUICK = 5
+
+
+def _register(suite: str, name: str):
+    def deco(factory: Callable[[bool], CaseFn]):
+        SUITES.setdefault(suite, []).append((name, factory))
+        return factory
+    return deco
+
+
+def _events_per_s(events: int, wall: float) -> float:
+    return events / wall if wall > 0 else 0.0
+
+
+# -- sim kernel ---------------------------------------------------------------
+@_register("sim_kernel", "timeout_churn")
+def _timeout_churn(quick: bool) -> CaseFn:
+    """Many processes ticking short timeouts: raw event-loop throughput."""
+    n_procs, n_ticks = (20, 500) if quick else (50, 2000)
+
+    def run() -> Dict[str, float]:
+        sim = Simulator()
+
+        def ticker(sim: Simulator, n: int):
+            for _ in range(n):
+                yield sim.timeout(0.01)
+
+        for _ in range(n_procs):
+            sim.process(ticker(sim, n_ticks))
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        ev = sim.events_processed
+        return {"wall_s": wall, "events": ev,
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
+@_register("sim_kernel", "call_in_storm")
+def _call_in_storm(quick: bool) -> CaseFn:
+    """Scheduled-callback delivery: the ``call_in`` fast path."""
+    n = 20_000 if quick else 100_000
+
+    def run() -> Dict[str, float]:
+        sim = Simulator()
+        hits = [0]
+
+        def bump() -> None:
+            hits[0] += 1
+
+        for i in range(n):
+            sim.call_in(0.001 * (i % 97), bump)
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        assert hits[0] == n
+        ev = sim.events_processed
+        return {"wall_s": wall, "events": ev,
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
+@_register("sim_kernel", "process_spawn")
+def _process_spawn(quick: bool) -> CaseFn:
+    """Short-lived process creation/teardown (source drivers, transfers)."""
+    n = 5_000 if quick else 20_000
+
+    def run() -> Dict[str, float]:
+        sim = Simulator()
+
+        def short(sim: Simulator):
+            yield sim.timeout(0.001)
+
+        def spawner(sim: Simulator):
+            for _ in range(n):
+                yield sim.process(short(sim))
+
+        sim.process(spawner(sim))
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        ev = sim.events_processed
+        return {"wall_s": wall, "events": ev,
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
+# -- monitor ------------------------------------------------------------------
+@_register("monitor", "record_and_select")
+def _record_and_select(quick: bool) -> CaseFn:
+    """Trace recording plus windowed metric queries (harness pattern)."""
+    n_records, n_queries = (20_000, 200) if quick else (100_000, 1000)
+    categories = ["sink_output", "checkpoint", "heartbeat", "recovery_finished"]
+
+    def run() -> Dict[str, float]:
+        trace = Trace()
+        t0 = time.perf_counter()
+        for i in range(n_records):
+            trace.record(float(i), categories[i % len(categories)],
+                         region="region0", latency=float(i % 37))
+        total = 0
+        for q in range(n_queries):
+            since = float(q % 50) * (n_records / 100)
+            total += sum(
+                1 for _ in trace.select("sink_output", since=since,
+                                        until=since + n_records / 10)
+            )
+            total += trace.count_of("recovery_finished")
+        wall = time.perf_counter() - t0
+        ops = n_records + 2 * n_queries
+        return {"wall_s": wall, "events": ops,
+                "events_per_s": _events_per_s(ops, wall), "checksum": total}
+
+    return run
+
+
+@_register("monitor", "counters")
+def _counters(quick: bool) -> CaseFn:
+    """Counter increments through cached handles vs. name lookups."""
+    n = 50_000 if quick else 200_000
+
+    def run() -> Dict[str, float]:
+        trace = Trace()
+        handle = trace.counter("net.wifi.bytes")
+        t0 = time.perf_counter()
+        for i in range(n):
+            handle.add(1024.0)
+            if i % 16 == 0:
+                trace.count("ft.network_bytes", 64.0)
+        wall = time.perf_counter() - t0
+        return {"wall_s": wall, "events": n,
+                "events_per_s": _events_per_s(n, wall)}
+
+    return run
+
+
+# -- wifi broadcast -----------------------------------------------------------
+def _make_cell(n_members: int):
+    from repro.net.wifi import WifiCell
+
+    sim = Simulator()
+    rng = RngRegistry(0)
+    trace = Trace()
+    cell = WifiCell(sim, rng, name="bench", trace=trace)
+    for i in range(n_members):
+        cell.join(f"m{i}", lambda msg: None)
+    return sim, cell
+
+
+@_register("wifi_broadcast", "broadcast_rounds")
+def _broadcast_rounds(quick: bool) -> CaseFn:
+    """Back-to-back UDP broadcast rounds over an 8-member cell."""
+    n_rounds, n_blocks = (20, 128) if quick else (60, 512)
+
+    def run() -> Dict[str, float]:
+        sim, cell = _make_cell(8)
+        indices = np.arange(n_blocks)
+
+        def driver():
+            for _ in range(n_rounds):
+                yield from cell.udp_broadcast_round("m0", indices, 1024)
+
+        sim.process(driver())
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        ev = sim.events_processed
+        return {"wall_s": wall, "events": ev,
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
+@_register("wifi_broadcast", "unicast_stream")
+def _unicast_stream(quick: bool) -> CaseFn:
+    """A stream of TCP-like unicasts (the per-tuple data path)."""
+    n_msgs = 500 if quick else 2000
+
+    def run() -> Dict[str, float]:
+        from repro.net.packet import Message
+
+        sim, cell = _make_cell(4)
+
+        def driver():
+            for i in range(n_msgs):
+                msg = Message(src="m0", dst=f"m{1 + i % 3}", size=4096,
+                              kind="tuple", payload=("tuple", "op", None))
+                yield from cell.tcp_unicast(msg)
+
+        sim.process(driver())
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        ev = sim.events_processed
+        return {"wall_s": wall, "events": ev,
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
+# -- checkpoint rounds --------------------------------------------------------
+@_register("checkpoint", "broadcast_checkpoint")
+def _broadcast_checkpoint(quick: bool) -> CaseFn:
+    """Full multi-phase checkpoint broadcasts (UDP rounds + TCP tree)."""
+    n_ckpts, size = (4, 128 * 1024) if quick else (10, 512 * 1024)
+
+    def run() -> Dict[str, float]:
+        from repro.checkpoint.broadcast import broadcast_checkpoint
+
+        sim, cell = _make_cell(8)
+
+        def driver():
+            for _ in range(n_ckpts):
+                yield from broadcast_checkpoint(sim, cell, "m0", size)
+
+        sim.process(driver())
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        ev = sim.events_processed
+        return {"wall_s": wall, "events": ev,
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
+# -- full scenarios -----------------------------------------------------------
+_SCENARIO_CASES = (
+    ("paper-fig8", "bcp", "ms-8", 3),
+    ("paper-fig8", "signalguru", "ms-8", 3),
+    ("failure-cascade", "bcp", "ms-8", 3),
+)
+
+
+def _scenario_case(scenario: str, app: str, scheme: str, seed: int):
+    def factory(quick: bool) -> CaseFn:
+        def run() -> Dict[str, float]:
+            from repro.scenarios import EventDirector, get
+            from repro.scenarios.runner import build_system
+
+            spec = get(scenario)
+            if quick:
+                spec = spec.quick()
+            system = build_system(spec, app, scheme, seed)
+            director = EventDirector(system, spec)
+            director.install()
+            t0 = time.perf_counter()
+            system.start()
+            director.schedule()
+            system.run(spec.duration_s)
+            wall = time.perf_counter() - t0
+            report = system.metrics(warmup_s=spec.warmup_s)
+            ev = system.sim.events_processed
+            return {
+                "wall_s": wall,
+                "sim_s": spec.duration_s,
+                "sim_s_per_wall_s": spec.duration_s / wall if wall > 0 else 0.0,
+                "events": ev,
+                "events_per_s": _events_per_s(ev, wall),
+                "output_tuples": sum(
+                    rm.output_tuples for rm in report.per_region.values()
+                ),
+            }
+
+        return run
+
+    return factory
+
+
+for _scenario, _app, _scheme, _seed in _SCENARIO_CASES:
+    _register("scenarios", f"{_scenario}/{_app}/{_scheme}")(
+        _scenario_case(_scenario, _app, _scheme, _seed)
+    )
+
+
+@_register("scenarios", "paper-fig8/full-sweep")
+def _fig8_full_sweep(quick: bool) -> CaseFn:
+    """The acceptance-criterion number: the whole 14-case Fig. 8 matrix,
+    serially, exactly as ``scenario sweep paper-fig8 --jobs 1`` runs it."""
+
+    def run() -> Dict[str, float]:
+        from repro.scenarios import get, run_sweep
+
+        spec = get("paper-fig8")
+        if quick:
+            spec = spec.quick()
+        n_cases = len(spec.matrix)
+        t0 = time.perf_counter()
+        run_sweep(spec, jobs=1)
+        wall = time.perf_counter() - t0
+        total_sim = spec.duration_s * n_cases
+        return {
+            "wall_s": wall,
+            "n_cases": n_cases,
+            "sim_s": total_sim,
+            "sim_s_per_wall_s": total_sim / wall if wall > 0 else 0.0,
+        }
+
+    return run
+
+
+# -- execution ----------------------------------------------------------------
+def run_suite(suite: str, quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run every case of ``suite``; returns case name -> metrics.
+
+    Microbenchmark cases run :data:`MICRO_REPEATS` times and keep the
+    fastest wall time; ``scenarios`` cases run once.
+    """
+    if suite not in SUITES:
+        raise KeyError(f"unknown perf suite {suite!r}; have {sorted(SUITES)}")
+    results: Dict[str, Dict[str, float]] = {}
+    if suite == "scenarios":
+        repeats = 1
+    else:
+        repeats = MICRO_REPEATS_QUICK if quick else MICRO_REPEATS
+    for name, factory in SUITES[suite]:
+        case = factory(quick)
+        best: Dict[str, float] = {}
+        for _ in range(repeats):
+            metrics = case()
+            if not best or metrics["wall_s"] < best["wall_s"]:
+                best = metrics
+        results[name] = best
+    return results
+
+
+def suite_names() -> List[str]:
+    """All registered suite names, stable order."""
+    return list(SUITES)

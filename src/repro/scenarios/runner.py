@@ -166,17 +166,25 @@ def _sweep_worker(payload: Tuple[Dict[str, Any], str, str, int]) -> Dict[str, An
     return case_to_dict(run_case(spec, app, scheme, seed))
 
 
+#: Sweeps at or above this many cases default to compact JSON: pretty-
+#: printing a huge artifact burns real time and disk for no reader.
+COMPACT_THRESHOLD = 100
+
+
 def run_sweep(
     spec: ScenarioSpec,
     jobs: int = 1,
     out_path: Optional[str] = None,
+    compact: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Run a scenario's whole matrix, optionally in parallel.
 
     ``jobs > 1`` fans the cases out over a process pool; the aggregated
     result is byte-identical to a serial run (case order follows the
     matrix, each case is independently seeded and deterministic).  With
-    ``out_path`` the result is also written as canonical JSON.
+    ``out_path`` the result is also written as canonical JSON;
+    ``compact`` picks the layout (None = automatic by sweep size, see
+    :func:`dumps_result`).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -199,12 +207,22 @@ def run_sweep(
         if dirname:
             os.makedirs(dirname, exist_ok=True)
         with open(out_path, "w", encoding="utf-8") as fh:
-            fh.write(dumps_result(result))
+            fh.write(dumps_result(result, compact=compact))
             fh.write("\n")
     return result
 
 
-def dumps_result(result: Dict[str, Any]) -> str:
+def dumps_result(result: Dict[str, Any], compact: Optional[bool] = None) -> str:
     """Canonical serialization (sorted keys, fixed layout) so serial and
-    parallel sweeps of the same scenario compare byte-for-byte."""
+    parallel sweeps of the same scenario compare byte-for-byte.
+
+    ``compact=None`` keeps the human-readable indented layout for small
+    sweeps and switches to separators-only JSON at
+    :data:`COMPACT_THRESHOLD` cases; both layouts stay canonical
+    (key-sorted), just differently whitespaced.
+    """
+    if compact is None:
+        compact = result.get("n_cases", 0) >= COMPACT_THRESHOLD
+    if compact:
+        return json.dumps(result, sort_keys=True, separators=(",", ":"))
     return json.dumps(result, sort_keys=True, indent=2)

@@ -13,6 +13,7 @@ them; arbitrary code can also attach callbacks directly.
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -20,6 +21,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Sentinel for "no value yet".
 PENDING = object()
+
+#: Queue priorities.  Defined here (not in core) so the fused Timeout
+#: construction can heappush directly; :mod:`repro.sim.core` re-exports
+#: them as its public names.
+#: Priority for urgent events (interrupts, process init).
+URGENT = 0
+#: Priority for normal events.
+NORMAL = 1
 
 
 class Event:
@@ -109,6 +118,14 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (for chaining)."""
+        if event._ok is None:
+            # Without this guard a pending source would fall through to
+            # fail(PENDING) and blow up on the sentinel object with a
+            # baffling TypeError.
+            raise RuntimeError(
+                f"cannot trigger {self!r} from {event!r}: the source event "
+                "is still pending (trigger() copies a *decided* outcome)"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -140,17 +157,59 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Fused construction: a timeout is born triggered and scheduled,
+        # so the base-class pending state and the _schedule() indirection
+        # are skipped — this is the single most-allocated event type.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        sim._seq += 1
+        heapq.heappush(sim._queue, (sim._now + delay, NORMAL, sim._seq, self))
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise RuntimeError("Timeout events trigger themselves")
 
     def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
         raise RuntimeError("Timeout events trigger themselves")
+
+
+def _run_deferred(event: "Event") -> None:
+    """Module-level trampoline for :class:`Callback` (no per-call closure)."""
+    event._fn(*event._args)
+
+
+class Callback(Timeout):
+    """A timeout that invokes a stored callable when it fires.
+
+    ``Simulator.call_in``/``call_at`` used to allocate a Timeout *plus* a
+    closure per delivery; this carries the function and its arguments in
+    slots and dispatches through one shared module-level trampoline.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        fn: Callable[..., None],
+        args: tuple = (),
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.sim = sim
+        self.callbacks = [_run_deferred]
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        self._fn = fn
+        self._args = args
+        sim._seq += 1
+        heapq.heappush(sim._queue, (sim._now + delay, NORMAL, sim._seq, self))
 
 
 class ConditionValue:

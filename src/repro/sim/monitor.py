@@ -4,21 +4,84 @@ Every subsystem reports into a shared :class:`Trace`: checkpoint rounds,
 failures, recoveries, tuple completions, bytes on each network.  The bench
 harness then derives throughput/latency/data-volume metrics purely from the
 trace, so measurement code never reaches into subsystem internals.
+
+Storage is indexed per category: ``select``/``count_of``/``series`` touch
+only the requested category's records (binary-searching the time window
+when records arrived in time order) instead of scanning the whole run —
+metric derivation is O(matches), not O(all records x queries).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_left
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
-@dataclass
 class TraceRecord:
     """One trace entry: virtual timestamp, category, free-form payload."""
 
-    time: float
-    category: str
-    data: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "data")
+
+    def __init__(
+        self, time: float, category: str, data: Optional[Dict[str, Any]] = None
+    ) -> None:
+        self.time = time
+        self.category = category
+        self.data: Dict[str, Any] = {} if data is None else data
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not TraceRecord:
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.category == other.category
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceRecord(time={self.time!r}, category={self.category!r}, data={self.data!r})"
+
+
+class _CategoryIndex:
+    """Per-category record store: parallel time list for window bisects."""
+
+    __slots__ = ("records", "times", "sorted")
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self.times: List[float] = []
+        #: Virtual time is monotone in practice; if a caller ever records
+        #: out of order we fall back to a linear scan for this category.
+        self.sorted = True
+
+    def append(self, rec: TraceRecord) -> None:
+        times = self.times
+        if times and rec.time < times[-1]:
+            self.sorted = False
+        times.append(rec.time)
+        self.records.append(rec)
+
+    def window(self, since: float, until: float) -> Iterator[TraceRecord]:
+        if self.sorted:
+            lo = bisect_left(self.times, since) if since != float("-inf") else 0
+            hi = (
+                bisect_left(self.times, until)
+                if until != float("inf")
+                else len(self.records)
+            )
+            return iter(self.records[lo:hi])
+        return (r for r in self.records if since <= r.time < until)
+
+    def count(self, since: float, until: float) -> int:
+        if self.sorted:
+            lo = bisect_left(self.times, since) if since != float("-inf") else 0
+            hi = (
+                bisect_left(self.times, until)
+                if until != float("inf")
+                else len(self.records)
+            )
+            return hi - lo
+        return sum(1 for r in self.records if since <= r.time < until)
 
 
 class Counter:
@@ -54,14 +117,26 @@ class Trace:
         self.enabled = enabled
         self.records: List[TraceRecord] = []
         self.counters: Dict[str, Counter] = {}
+        self._by_category: Dict[str, _CategoryIndex] = {}
 
     def record(self, time: float, category: str, **data: Any) -> None:
         """Append a record (no-op when tracing is disabled)."""
-        if self.enabled:
-            self.records.append(TraceRecord(time, category, data))
+        if not self.enabled:
+            return
+        rec = TraceRecord(time, category, data)
+        self.records.append(rec)
+        index = self._by_category.get(category)
+        if index is None:
+            index = _CategoryIndex()
+            self._by_category[category] = index
+        index.append(rec)
 
     def counter(self, name: str) -> Counter:
-        """Return (creating if needed) the counter called ``name``."""
+        """Return (creating if needed) the counter called ``name``.
+
+        Hot paths should resolve the handle once and call ``add`` on it,
+        instead of paying this dict lookup per increment.
+        """
         c = self.counters.get(name)
         if c is None:
             c = Counter(name)
@@ -85,13 +160,23 @@ class Trace:
         until: float = float("inf"),
     ) -> Iterator[TraceRecord]:
         """All records of ``category`` with ``since <= time < until``."""
-        for rec in self.records:
-            if rec.category == category and since <= rec.time < until:
-                yield rec
+        index = self._by_category.get(category)
+        if index is None:
+            return iter(())
+        return index.window(since, until)
 
     def count_of(self, category: str, **time_window: float) -> int:
         """Number of records matching :meth:`select` filters."""
-        return sum(1 for _ in self.select(category, **time_window))
+        bad = set(time_window) - {"since", "until"}
+        if bad:
+            raise TypeError(f"count_of() got unexpected arguments {sorted(bad)}")
+        index = self._by_category.get(category)
+        if index is None:
+            return 0
+        return index.count(
+            time_window.get("since", float("-inf")),
+            time_window.get("until", float("inf")),
+        )
 
     def series(
         self, category: str, key: str, **time_window: float
@@ -104,16 +189,23 @@ class Trace:
         ]
 
     def last(self, category: str) -> Optional[TraceRecord]:
-        """Most recent record of ``category``, or None."""
-        for rec in reversed(self.records):
-            if rec.category == category:
-                return rec
-        return None
+        """Most recently *recorded* entry of ``category``, or None."""
+        index = self._by_category.get(category)
+        if index is None or not index.records:
+            return None
+        return index.records[-1]
 
     def clear(self) -> None:
-        """Drop all records and counters."""
+        """Drop all records; reset every counter to zero.
+
+        Counters are reset *in place* (not discarded): hot paths hold
+        pre-resolved :class:`Counter` handles, and dropping the objects
+        would silently detach those handles from the registry.
+        """
         self.records.clear()
-        self.counters.clear()
+        self._by_category.clear()
+        for counter in self.counters.values():
+            counter.value = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Trace records={len(self.records)} counters={len(self.counters)}>"

@@ -56,3 +56,34 @@ def test_token_is_small():
 def test_catchup_end_marker():
     m = CatchupEnd(recovery_id=2)
     assert m.size > 0
+
+
+def test_stream_tuple_has_slots():
+    t = StreamTuple(payload=None, size=0, entered_at=0.0)
+    assert not hasattr(t, "__dict__")
+    with pytest.raises(AttributeError):
+        t.extra_field = 1
+
+
+def test_token_is_immutable_value_type():
+    a = Token(version=1, origin="x")
+    b = Token(version=1, origin="x")
+    c = Token(version=2, origin="x")
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert not hasattr(a, "__dict__")
+    with pytest.raises(AttributeError):
+        a.version = 9
+    assert len({a, b, c}) == 2
+
+
+def test_token_pickles_and_copies():
+    """Regression: the immutability guard must not break pickle/copy,
+    which restore slot state via setattr by default."""
+    import copy
+    import pickle
+
+    t = Token(version=3, origin="nodeA")
+    assert pickle.loads(pickle.dumps(t)) == t
+    assert copy.copy(t) == t
+    assert copy.deepcopy(t) == t

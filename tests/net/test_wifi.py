@@ -207,3 +207,32 @@ def test_trace_counts_bytes():
     sim.process(cell.tcp_unicast(Message(src="A", dst="B", size=1000, kind="t")))
     sim.run()
     assert trace.value("net.wifi.bytes") > 1000
+
+
+def test_iter_members_and_member_count():
+    """Satellite: the hot broadcast path iterates membership without the
+    per-access list copy that the ``members`` property makes."""
+    sim, cell = make_cell()
+    cell.join("A", lambda m: None)
+    cell.join("B", lambda m: None)
+    assert list(cell.iter_members()) == ["A", "B"]
+    assert cell.member_count == 2
+    # The property still returns a fresh, caller-owned list.
+    snapshot = cell.members
+    snapshot.append("C")
+    assert cell.member_count == 2
+    cell.leave("A")
+    assert list(cell.iter_members()) == ["B"]
+
+
+def test_counter_handles_match_trace_counters():
+    trace = Trace()
+    sim, cell = make_cell(trace=None)
+    cell2 = WifiCell(Simulator(), RngRegistry(1), WifiConfig(), name="r9",
+                     trace=trace)
+    cell2._count(100.0)
+    cell2._count(24.0)
+    assert trace.value("net.wifi.bytes") == 124.0
+    assert trace.value("net.wifi.r9.bytes") == 124.0
+    # Traceless cells count nothing and do not crash.
+    cell._count(50.0)

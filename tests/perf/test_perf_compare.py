@@ -1,0 +1,100 @@
+"""Comparison logic: thresholds, exit codes, unsound-comparison guards."""
+
+import pytest
+
+from repro.perf.compare import CaseComparison, compare_artifacts, format_report
+
+
+def _artifact(suite, results, quick=False, machine="x86_64"):
+    return {
+        "schema_version": 1,
+        "suite": suite,
+        "quick": quick,
+        "meta": {"machine": machine, "implementation": "CPython"},
+        "results": results,
+    }
+
+
+def test_identical_runs_pass():
+    base = {"sim_kernel": _artifact("sim_kernel", {"a": {"wall_s": 1.0}})}
+    report = compare_artifacts(base, base, threshold=0.25)
+    assert report.exit_code == 0
+    assert not report.regressions
+
+
+def test_injected_regression_fails():
+    base = {"sim_kernel": _artifact("sim_kernel", {"a": {"wall_s": 1.0}})}
+    cur = {"sim_kernel": _artifact("sim_kernel", {"a": {"wall_s": 1.6}})}
+    report = compare_artifacts(base, cur, threshold=0.25)
+    assert report.exit_code == 1
+    assert len(report.regressions) == 1
+    assert "REGRESSION" in format_report(report)
+
+
+def test_slowdown_within_threshold_passes():
+    base = {"s": _artifact("s", {"a": {"wall_s": 1.0}})}
+    cur = {"s": _artifact("s", {"a": {"wall_s": 1.2}})}
+    assert compare_artifacts(base, cur, threshold=0.25).exit_code == 0
+
+
+def test_speedup_reported_not_failed():
+    base = {"s": _artifact("s", {"a": {"wall_s": 2.0}})}
+    cur = {"s": _artifact("s", {"a": {"wall_s": 0.5}})}
+    report = compare_artifacts(base, cur, threshold=0.25)
+    assert report.exit_code == 0
+    assert "faster" in format_report(report)
+
+
+def test_quick_full_mismatch_is_usage_error():
+    base = {"s": _artifact("s", {"a": {"wall_s": 1.0}}, quick=True)}
+    cur = {"s": _artifact("s", {"a": {"wall_s": 1.0}}, quick=False)}
+    assert compare_artifacts(base, cur).exit_code == 2
+
+
+def test_empty_sides_are_usage_errors():
+    art = {"s": _artifact("s", {"a": {"wall_s": 1.0}})}
+    assert compare_artifacts({}, art).exit_code == 2
+    assert compare_artifacts(art, {}).exit_code == 2
+    assert compare_artifacts(
+        {"s": _artifact("s", {})}, {"t": _artifact("t", {})}
+    ).exit_code == 2
+
+
+def test_cross_machine_warns_but_compares():
+    base = {"s": _artifact("s", {"a": {"wall_s": 1.0}}, machine="arm64")}
+    cur = {"s": _artifact("s", {"a": {"wall_s": 1.0}}, machine="x86_64")}
+    report = compare_artifacts(base, cur)
+    assert report.exit_code == 0
+    assert report.warnings
+
+
+def test_missing_cases_are_reported():
+    base = {"s": _artifact("s", {"a": {"wall_s": 1.0}, "b": {"wall_s": 1.0}})}
+    cur = {"s": _artifact("s", {"a": {"wall_s": 1.0}, "c": {"wall_s": 1.0}})}
+    report = compare_artifacts(base, cur)
+    assert sorted(report.missing) == ["s/b (current)", "s/c (baseline)"]
+
+
+def test_zero_baseline_wall_is_infinite_ratio():
+    c = CaseComparison("s", "a", baseline_wall_s=0.0, current_wall_s=0.1)
+    assert c.ratio == float("inf")
+    assert c.regressed(0.25)
+
+
+@pytest.mark.parametrize("threshold", [-0.1, -1.0])
+def test_negative_threshold_rejected_by_cli(threshold):
+    from repro.perf.cli import cmd_perf_compare
+
+    assert cmd_perf_compare(threshold=threshold) == 2
+
+
+def test_whole_suite_missing_is_visible():
+    """A deleted/renamed suite must not silently drop out of the gate."""
+    base = {
+        "s": _artifact("s", {"a": {"wall_s": 1.0}}),
+        "gone": _artifact("gone", {"a": {"wall_s": 1.0}}),
+    }
+    cur = {"s": _artifact("s", {"a": {"wall_s": 1.0}})}
+    report = compare_artifacts(base, cur)
+    assert "gone (whole suite, current)" in report.missing
+    assert report.exit_code == 0  # visible, but not a hard failure

@@ -105,3 +105,34 @@ def test_parallel_sweep_is_faster_on_multicore():
     t0 = time.time(); run_sweep(spec, jobs=1); serial = time.time() - t0
     t0 = time.time(); run_sweep(spec, jobs=min(4, os.cpu_count())); par = time.time() - t0
     assert par < serial
+
+
+def test_dumps_result_compact_flag_and_threshold():
+    from repro.scenarios.runner import COMPACT_THRESHOLD, dumps_result
+
+    small = {"scenario": "s", "n_cases": 2, "cases": [{"a": 1}]}
+    big = {"scenario": "s", "n_cases": COMPACT_THRESHOLD, "cases": [{"a": 1}]}
+    # Small sweeps stay pretty by default; big ones go compact.
+    assert "\n" in dumps_result(small)
+    assert "\n" not in dumps_result(big)
+    # Explicit flags override the size heuristic, both ways.
+    assert "\n" not in dumps_result(small, compact=True)
+    assert "\n" in dumps_result(big, compact=False)
+    # Both layouts parse back to the same canonical payload.
+    assert json.loads(dumps_result(big)) == json.loads(
+        dumps_result(big, compact=False))
+
+
+def test_sweep_writes_compact_artifact(tmp_path):
+    spec = small_spec()
+    out = tmp_path / "sweep.json"
+    result = run_sweep(spec, jobs=1, out_path=str(out), compact=True)
+    raw = out.read_text()
+    assert raw.endswith("\n")
+    assert "\n" not in raw[:-1]
+    # Compare post-JSON (the spec's tuples round-trip into lists).
+    assert json.loads(raw) == json.loads(json.dumps(result))
+    # Compact and pretty artifacts carry identical data.
+    pretty = tmp_path / "pretty.json"
+    run_sweep(spec, jobs=1, out_path=str(pretty), compact=False)
+    assert json.loads(pretty.read_text()) == json.loads(raw)

@@ -143,3 +143,40 @@ def test_stop_simulation_exits_run():
     sim.call_in(5.0, lambda: pytest.fail("should not run"))
     sim.run()
     assert sim.now == 1.0
+
+
+def test_call_in_passes_args_without_closure():
+    sim = Simulator()
+    seen = []
+    sim.call_in(1.0, seen.append, "payload")
+    sim.call_in(2.0, lambda: seen.append("thunk"))
+    sim.run()
+    assert seen == ["payload", "thunk"]
+
+
+def test_call_at_passes_args():
+    sim = Simulator()
+    seen = []
+    sim.call_at(5.0, seen.append, 42)
+    sim.run()
+    assert seen == [42] and sim.now == 5.0
+
+
+def test_events_processed_counts_run_and_step():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.timeout(2.0)
+    sim.step()
+    assert sim.events_processed == 1
+    sim.run()
+    assert sim.events_processed == 2
+
+
+def test_run_inlined_loop_matches_step_semantics():
+    """run() inlines the event loop; a failing un-defused event must
+    still surface, exactly as through step()."""
+    sim = Simulator()
+    ev = sim.event()
+    sim.call_in(1.0, lambda: ev.fail(RuntimeError("lost")))
+    with pytest.raises(RuntimeError, match="lost"):
+        sim.run()

@@ -185,3 +185,33 @@ def test_event_trigger_copies_state():
     src.succeed(7)
     dst.trigger(src)
     assert dst.value == 7
+
+
+def test_event_trigger_from_pending_source_raises():
+    """Regression: trigger() on a still-pending source used to fall into
+    fail(PENDING) with the sentinel object; it must raise clearly."""
+    sim = Simulator()
+    src = sim.event()
+    dst = sim.event()
+    with pytest.raises(RuntimeError, match="still pending"):
+        dst.trigger(src)
+    # Neither event was corrupted by the rejected call.
+    assert not dst.triggered
+    assert not src.triggered
+    src.succeed(1)
+    dst.trigger(src)
+    assert dst.value == 1
+
+
+def test_event_trigger_copies_failure():
+    sim = Simulator()
+    src = sim.event()
+    dst = sim.event()
+    boom = RuntimeError("boom")
+    src.fail(boom)
+    src.defuse()
+    dst.trigger(src)
+    dst.defuse()
+    assert dst.ok is False
+    assert dst._value is boom
+    sim.run()

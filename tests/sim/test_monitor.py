@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import Trace
+from repro.sim.monitor import TraceRecord
 
 
 def test_record_and_select():
@@ -68,3 +69,63 @@ def test_clear():
     tr.clear()
     assert tr.records == []
     assert tr.value("c") == 0.0
+
+
+def test_select_uses_category_index_with_time_window():
+    tr = Trace()
+    for i in range(100):
+        tr.record(float(i), "a" if i % 2 == 0 else "b", i=i)
+    got = [r.data["i"] for r in tr.select("a", since=10.0, until=20.0)]
+    assert got == [10, 12, 14, 16, 18]
+    assert tr.count_of("a", since=10.0, until=20.0) == 5
+    assert tr.count_of("b") == 50
+    assert tr.count_of("missing") == 0
+
+
+def test_out_of_order_records_still_select_correctly():
+    """Virtual time is monotone in practice, but the index must fall
+    back to a scan if a caller ever records out of order."""
+    tr = Trace()
+    tr.record(5.0, "x", i=0)
+    tr.record(2.0, "x", i=1)  # out of order
+    tr.record(7.0, "x", i=2)
+    assert [r.data["i"] for r in tr.select("x", since=3.0)] == [0, 2]
+    assert tr.count_of("x", since=3.0) == 2
+    assert tr.last("x").data["i"] == 2
+
+
+def test_trace_record_slots_and_equality():
+    r1 = TraceRecord(1.0, "x", {"k": 1})
+    r2 = TraceRecord(1.0, "x", {"k": 1})
+    assert r1 == r2
+    assert not hasattr(r1, "__dict__")
+    with pytest.raises(AttributeError):
+        r1.extra = 1
+
+
+def test_last_follows_insertion_order():
+    tr = Trace()
+    tr.record(1.0, "x", i=0)
+    tr.record(1.0, "x", i=1)
+    assert tr.last("x").data["i"] == 1
+    assert tr.last("missing") is None
+
+
+def test_clear_keeps_preresolved_counter_handles_live():
+    """Regression: hot paths cache Counter handles; clear() must reset
+    them in place, not orphan them from the registry."""
+    tr = Trace()
+    handle = tr.counter("net.wifi.bytes")
+    handle.add(100)
+    tr.clear()
+    assert tr.value("net.wifi.bytes") == 0.0
+    handle.add(7)
+    assert tr.value("net.wifi.bytes") == 7.0
+    assert tr.counter("net.wifi.bytes") is handle
+
+
+def test_count_of_rejects_unknown_window_kwargs():
+    tr = Trace()
+    tr.record(1.0, "x")
+    with pytest.raises(TypeError, match="sinse"):
+        tr.count_of("x", sinse=0.5)
