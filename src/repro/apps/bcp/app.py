@@ -1,9 +1,16 @@
-"""The BCP application assembly: graph, placement, workloads (Fig. 2)."""
+"""The BCP application assembly: graph, placement, workloads (Fig. 2).
+
+Since the app-platform refactor, the assembly is a declarative
+:class:`~repro.apps.pipeline.PipelineSpec` — the stages, fan-in/out,
+placement groups, and workload bindings below compile to exactly the
+graph the hand-wired version built (guarded byte-for-byte by the golden
+artifact hashes in ``tests/perf/``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List
+from typing import TYPE_CHECKING
 
 from repro.apps.bcp.operators import (
     AlightingPredictor,
@@ -20,10 +27,8 @@ from repro.apps.bcp.operators import (
     StopSink,
     StopSource,
 )
+from repro.apps.pipeline import PipelineApp, PipelineSpec, stage
 from repro.apps.vision import FrameSpec
-from repro.core.app import AppSpec
-from repro.core.graph import QueryGraph
-from repro.core.placement import Placement
 from repro.util.units import KB
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -64,67 +69,51 @@ class BCPParams:
             raise ValueError("need at least one counter")
 
 
-class BCPApp(AppSpec):
-    """Bus Capacity Prediction as an :class:`~repro.core.app.AppSpec`."""
+class BCPApp(PipelineApp):
+    """Bus Capacity Prediction as a compiled pipeline (Fig. 2)."""
 
     name = "bcp"
 
     def __init__(self, params: BCPParams | None = None) -> None:
         self.params = params or BCPParams()
-
-    # -- graph (Fig. 2) ----------------------------------------------------
-    def build_graph(self) -> QueryGraph:
-        p = self.params
-        c = p.costs
-        g = QueryGraph()
-        g.add_operator(StopSource("S0"))
-        g.add_operator(NoiseFilter("N", cost_s=c.noise_filter))
-        g.add_operator(ArrivalPredictor("A", cost_s=c.predict))
-        g.add_operator(AlightingPredictor("L", cost_s=c.predict))
-        g.add_operator(CameraSource("S1"))
-        g.add_operator(MotionDetector("H", cost_s=c.motion_detect))
-        g.add_operator(Dispatcher("D", cost_s=c.dispatch))
-        for i in range(p.n_counters):
-            g.add_operator(FaceCounter(f"C{i}", cost_s=c.count_faces))
-        g.add_operator(BoardingPredictor("B", cost_s=c.predict))
-        g.add_operator(JoinOperator("J", cost_s=c.join))
-        g.add_operator(CapacityPredictor("P", cost_s=c.predict))
-        g.add_operator(StopSink("K"))
-
-        g.chain("S0", "N")
-        g.connect("N", "A")
-        g.connect("N", "L")
-        g.chain("S1", "H", "D")
-        for i in range(p.n_counters):
-            g.chain("D", f"C{i}", "B")
-        g.connect("A", "J")
-        g.connect("L", "J")
-        g.connect("B", "J")
-        g.chain("J", "P", "K")
-        return g
-
-    # -- placement ("operators with the same color are on the same node") ----
-    def build_placement(self, phone_ids: List[str]) -> Placement:
-        p = self.params
-        groups = [["S0", "N"], ["S1", "H", "D"]]
-        groups += [[f"C{i}"] for i in range(p.n_counters)]
-        groups += [["A", "L", "B", "J"], ["P", "K"]]
-        return Placement.pack_groups(groups, phone_ids)
-
-    def compute_phones_needed(self) -> int:
-        return self.params.n_counters + 4
+        p, c = self.params, self.params.costs
+        super().__init__(PipelineSpec(
+            name="bcp",
+            stages=(
+                stage("S0", StopSource),
+                stage("N", lambda n: NoiseFilter(n, cost_s=c.noise_filter),
+                      upstream=("S0",)),
+                stage("A", lambda n: ArrivalPredictor(n, cost_s=c.predict),
+                      upstream=("N",)),
+                stage("L", lambda n: AlightingPredictor(n, cost_s=c.predict),
+                      upstream=("N",)),
+                stage("S1", CameraSource),
+                stage("H", lambda n: MotionDetector(n, cost_s=c.motion_detect),
+                      upstream=("S1",)),
+                stage("D", lambda n: Dispatcher(n, cost_s=c.dispatch),
+                      upstream=("H",)),
+                stage("C", lambda n: FaceCounter(n, cost_s=c.count_faces),
+                      upstream=("D",), width=p.n_counters, numbered=True),
+                stage("B", lambda n: BoardingPredictor(n, cost_s=c.predict),
+                      upstream=("C",)),
+                stage("J", lambda n: JoinOperator(n, cost_s=c.join),
+                      upstream=("A", "L", "B")),
+                stage("P", lambda n: CapacityPredictor(n, cost_s=c.predict),
+                      upstream=("J",)),
+                stage("K", StopSink, upstream=("P",)),
+            ),
+            # "Operators with the same color are on the same node."
+            groups=(("S0", "N"), ("S1", "H", "D"), ("C",),
+                    ("A", "L", "B", "J"), ("P", "K")),
+            workloads=(
+                ("S1", self._camera),
+                # The first stop has no upstream region; a bus-departure
+                # feed plays the role of the previous stop's output.
+                ("S0", lambda rng, r: self._bus_feed(rng) if r == 0 else None),
+            ),
+        ))
 
     # -- workloads -------------------------------------------------------------
-    def build_workloads(self, rng: "RngRegistry", region_index: int) -> Dict[str, Iterable]:
-        workloads: Dict[str, Iterable] = {
-            "S1": self._camera(rng, region_index),
-        }
-        if region_index == 0:
-            # The first stop has no upstream region; a bus-departure feed
-            # plays the role of the previous stop's output.
-            workloads["S0"] = self._bus_feed(rng)
-        return workloads
-
     def _camera(self, rng: "RngRegistry", region_index: int):
         p = self.params
         gen = rng.stream(f"bcp.camera.{region_index}")

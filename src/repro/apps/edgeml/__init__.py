@@ -1,0 +1,5 @@
+"""EdgeML: split-DNN edge inference (the third workload family)."""
+
+from repro.apps.edgeml.app import EdgeMLApp, EdgeMLParams
+
+__all__ = ["EdgeMLApp", "EdgeMLParams"]

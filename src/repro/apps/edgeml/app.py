@@ -1,0 +1,194 @@
+"""The EdgeML application assembly: split-DNN edge inference.
+
+The third workload family (after BCP and SignalGuru): a camera feeds a
+neural network that is *partitioned* across the region's phones —
+sparse_framework-style split inference.  Each partition operator owns
+its layers' weights as checkpointable state, so the app stresses
+fault-tolerance schemes along an axis the other two do not: large
+per-operator state (megabytes of weights per phone) and heavy
+inter-stage tensors whose size depends on the split point.
+
+The layer profile follows the classic convnet shape: weights *grow*
+with depth while activations *shrink*, so splitting shallow means
+little on-phone state but fat tensors on the WiFi, and splitting deep
+means the opposite — exactly the trade-off a scenario can sweep by
+parameterizing ``n_stages``/``split_points`` through app refs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.apps.edgeml.operators import (
+    CameraFeed,
+    InferenceSink,
+    PartitionStage,
+    PrototypeClassifier,
+    UplinkSource,
+)
+from repro.apps.pipeline import PipelineApp, PipelineSpec, stage
+from repro.apps.vision import FrameSpec
+from repro.util.units import KB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class EdgeMLParams:
+    """Workload, network-shape, and cost calibration.
+
+    Defaults keep the slowest partition lightly below the camera rate
+    (3 layers x 0.3 s < 2.0 s period) — the same "lightly saturated"
+    operating point as the other two apps — with ≈4.6 MB of total
+    weight state spread over four partitions.
+    """
+
+    #: Mean camera inter-frame interval, seconds.
+    camera_period_s: float = 2.0
+    #: Encoded frame size on the wire.
+    frame_size: int = 140 * KB
+    #: Total layers in the network.
+    n_layers: int = 12
+    #: Number of partitions the network is split into.
+    n_stages: int = 4
+    #: Explicit split boundaries (layer indices, strictly increasing,
+    #: ``n_stages - 1`` of them); None = split evenly.
+    split_points: Optional[Tuple[int, ...]] = None
+    #: Weight bytes of layer 0; deeper layers grow geometrically.
+    base_weights: int = 64 * KB
+    weights_growth: float = 1.3
+    #: Activation bytes entering layer 0; deeper activations shrink.
+    base_tensor: int = 96 * KB
+    tensor_shrink: float = 0.8
+    #: Floor for the inter-stage tensor size.
+    min_tensor: int = 4 * KB
+    #: Reference CPU seconds per layer.
+    layer_cost_s: float = 0.3
+    #: Reference CPU seconds for the classifier head.
+    classifier_cost_s: float = 0.25
+    #: Classes the head distinguishes (scene target counts 0..n-1).
+    n_classes: int = 10
+    #: How many frames the camera produces.
+    n_frames: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.camera_period_s <= 0:
+            raise ValueError("camera period must be positive")
+        if self.n_layers < 1:
+            raise ValueError("need at least one layer")
+        if not 1 <= self.n_stages <= self.n_layers:
+            raise ValueError("n_stages must be in [1, n_layers]")
+        if self.n_classes < 2:
+            raise ValueError("need at least two classes")
+        if self.weights_growth <= 0 or self.tensor_shrink <= 0:
+            raise ValueError("growth/shrink factors must be positive")
+        if self.split_points is not None:
+            self.split_points = tuple(int(s) for s in self.split_points)
+            if len(self.split_points) != self.n_stages - 1:
+                raise ValueError(
+                    f"need {self.n_stages - 1} split point(s) for "
+                    f"{self.n_stages} stages, got {len(self.split_points)}"
+                )
+            bounds = (0,) + self.split_points + (self.n_layers,)
+            if any(a >= b for a, b in zip(bounds, bounds[1:])):
+                raise ValueError(
+                    "split points must be strictly increasing within "
+                    f"(0, {self.n_layers})"
+                )
+
+    # -- derived profile -----------------------------------------------------
+    def stage_layers(self) -> List[Tuple[int, int]]:
+        """Per-partition ``(first_layer, end_layer)`` half-open ranges."""
+        if self.split_points is not None:
+            bounds = (0,) + self.split_points + (self.n_layers,)
+        else:
+            bounds = tuple(
+                round(k * self.n_layers / self.n_stages)
+                for k in range(self.n_stages + 1)
+            )
+        return list(zip(bounds, bounds[1:]))
+
+    def layer_weight_bytes(self, layer: int) -> int:
+        """Weight bytes of one global layer (grows with depth)."""
+        return int(self.base_weights * self.weights_growth ** layer)
+
+    def layer_tensor_bytes(self, layer: int) -> int:
+        """Activation bytes *after* one global layer (shrinks with depth)."""
+        return max(self.min_tensor,
+                   int(self.base_tensor * self.tensor_shrink ** (layer + 1)))
+
+    def stage_profile(self) -> List[dict]:
+        """Per-partition summary: layers, weight bytes, out-tensor bytes,
+        CPU cost — the numbers ``repro app show edgeml`` reports."""
+        profile = []
+        for first, end in self.stage_layers():
+            layers = list(range(first, end))
+            profile.append({
+                "layers": layers,
+                "weight_bytes": sum(self.layer_weight_bytes(l) for l in layers),
+                "out_tensor_bytes": self.layer_tensor_bytes(end - 1),
+                "cost_s": self.layer_cost_s * len(layers),
+            })
+        return profile
+
+
+class EdgeMLApp(PipelineApp):
+    """Partitioned DNN inference as a compiled pipeline."""
+
+    name = "edgeml"
+
+    def __init__(self, params: EdgeMLParams | None = None) -> None:
+        self.params = params or EdgeMLParams()
+        p = self.params
+        profile = p.stage_profile()
+
+        def partition_factory(info):
+            return lambda n: PartitionStage(
+                n, layers=info["layers"], weight_bytes=info["weight_bytes"],
+                out_tensor_bytes=info["out_tensor_bytes"], cost_s=info["cost_s"],
+            )
+
+        stages = [stage("S0", UplinkSource), stage("S", CameraFeed)]
+        for k, info in enumerate(profile):
+            upstream = "S" if k == 0 else f"F{k - 1}"
+            stages.append(stage(f"F{k}", partition_factory(info),
+                                upstream=(upstream,)))
+        stages.append(stage(
+            "P",
+            lambda n: PrototypeClassifier(n, n_classes=p.n_classes,
+                                          cost_s=p.classifier_cost_s),
+            # S0 first: the upstream consensus is a prior, the local
+            # feature stream drives the output rate.
+            upstream=("S0", f"F{p.n_stages - 1}"),
+        ))
+        stages.append(stage("K", InferenceSink, upstream=("P",)))
+
+        groups = tuple(
+            [("S0", "S")]
+            + [(f"F{k}",) for k in range(p.n_stages)]
+            + [("P", "K")]
+        )
+        super().__init__(PipelineSpec(
+            name="edgeml",
+            stages=tuple(stages),
+            groups=groups,
+            workloads=(("S", self._camera),),
+        ))
+
+    # -- workloads -------------------------------------------------------------
+    def _camera(self, rng: "RngRegistry", region_index: int):
+        """Frames whose target count is the ground-truth class label."""
+        p = self.params
+        gen = rng.stream(f"edgeml.camera.{region_index}")
+        for i in range(p.n_frames):
+            wait = float(gen.exponential(p.camera_period_s))
+            true_class = int(gen.integers(0, p.n_classes))
+            spec = FrameSpec(
+                seed=int(gen.integers(0, 2**31)),
+                n_targets=true_class,
+                encoded_size=p.frame_size,
+            )
+            payload = {"frame": spec, "true_class": true_class}
+            yield (wait, payload, p.frame_size)

@@ -1,0 +1,306 @@
+"""Declarative pipeline builder: stages that compile to an AppSpec.
+
+Applications describe themselves as an ordered tuple of
+:class:`StageSpec` — each a (possibly parallel) linear chain of
+operators with named upstream stages — plus placement groups and
+workload bindings.  :class:`PipelineApp` compiles that description into
+the three :class:`~repro.core.app.AppSpec` factories (graph, placement,
+workloads), so a new workload family is a data structure, not a page of
+graph-wiring code.
+
+The compiler is deliberately order-faithful: operators are inserted in
+stage order (instance-major for parallel chains) and edges are added in
+a per-node order identical to hand-written ``chain``/``connect`` calls.
+BCP and SignalGuru are ports onto this builder and their simulation
+artifacts are guarded byte-for-byte by the golden-hash tests in
+``tests/perf/``.
+
+Connection rule between a stage and an upstream stage:
+
+* equal widths > 1 — **paired**: instance *i* feeds instance *i*
+  (SignalGuru's three independent filter chains);
+* upstream width 1 — **fan-out**: the single exit op feeds every
+  instance (BCP's dispatcher feeding its counters);
+* stage width 1 — **fan-in**: every upstream exit feeds the single
+  entry op (the counters converging on the boarding predictor);
+* unequal widths > 1 — all-to-all (documented escape hatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.core.app import AppSpec
+from repro.core.graph import QueryGraph
+from repro.core.operator import Operator
+from repro.core.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RngRegistry
+
+#: ``fn(rng, region_index) -> workload iterator or None`` (None = this
+#: region does not bind the workload, e.g. upstream feeds exist only in
+#: region 0).
+WorkloadFn = Callable[["RngRegistry", int], Optional[Iterable]]
+
+
+class PipelineError(ValueError):
+    """Raised for malformed pipeline specifications."""
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """One operator slot of a stage's chain: a name plus a factory
+    ``factory(op_name) -> Operator``."""
+
+    name: str
+    factory: Callable[[str], Operator]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PipelineError("operator def needs a name")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage: a linear operator chain, replicated ``width`` times.
+
+    ``upstream`` names the stages feeding this one (fan-in order is the
+    listed order).  With ``width > 1`` the chain is instantiated
+    ``width`` times and instance operator names gain the instance index
+    suffix (``C`` -> ``C0..C3``); ``numbered=True`` forces the suffix
+    even at width 1 (BCP's single-counter configurations keep the
+    ``C0`` name the paper uses).
+    """
+
+    name: str
+    ops: Tuple[OpDef, ...]
+    width: int = 1
+    upstream: Tuple[str, ...] = ()
+    numbered: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PipelineError("stage needs a name")
+        object.__setattr__(self, "ops", tuple(self.ops))
+        object.__setattr__(self, "upstream", tuple(self.upstream))
+        if not self.ops:
+            raise PipelineError(f"stage {self.name!r} has no operators")
+        if self.width < 1:
+            raise PipelineError(f"stage {self.name!r} width must be >= 1")
+        names = [od.name for od in self.ops]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"stage {self.name!r} repeats operator names")
+
+    @property
+    def _numbered(self) -> bool:
+        return self.width > 1 if self.numbered is None else self.numbered
+
+    def op_name(self, op_def_name: str, instance: int) -> str:
+        """The concrete operator name of one chain slot of one instance."""
+        return f"{op_def_name}{instance}" if self._numbered else op_def_name
+
+    def instance_op_names(self, instance: int) -> List[str]:
+        """The operator names of instance ``instance``, chain order."""
+        return [self.op_name(od.name, instance) for od in self.ops]
+
+    def entry_name(self, instance: int) -> str:
+        """First operator of an instance chain (receives upstream edges)."""
+        return self.op_name(self.ops[0].name, instance)
+
+    def exit_name(self, instance: int) -> str:
+        """Last operator of an instance chain (feeds downstream stages)."""
+        return self.op_name(self.ops[-1].name, instance)
+
+
+def stage(
+    name: str,
+    factory: Callable[[str], Operator],
+    upstream: Tuple[str, ...] = (),
+    width: int = 1,
+    numbered: Optional[bool] = None,
+) -> StageSpec:
+    """Convenience: a single-operator stage whose op name is the stage name."""
+    return StageSpec(name=name, ops=(OpDef(name, factory),), width=width,
+                     upstream=upstream, numbered=numbered)
+
+
+@dataclass
+class PipelineSpec:
+    """A complete declarative application pipeline.
+
+    * ``stages`` — ordered; upstream references must point at earlier
+      stages, which makes the stage graph a DAG by construction.
+    * ``groups`` — ordered placement groups of *stage* names; a group of
+      width-``k`` stages expands to ``k`` phone groups, pairing instance
+      *i* of every member stage (SignalGuru's per-chain phones).
+    * ``workloads`` — ``(source op name, fn)`` pairs, bound in order;
+      ``fn(rng, region_index)`` returns the iterator or None to skip.
+    """
+
+    name: str
+    stages: Tuple[StageSpec, ...]
+    groups: Tuple[Tuple[str, ...], ...]
+    workloads: Tuple[Tuple[str, WorkloadFn], ...] = ()
+
+    def __post_init__(self) -> None:
+        self.stages = tuple(self.stages)
+        self.groups = tuple(tuple(g) for g in self.groups)
+        self.workloads = tuple(tuple(w) for w in self.workloads)  # type: ignore[assignment]
+        if not self.name:
+            raise PipelineError("pipeline needs a name")
+        if not self.stages:
+            raise PipelineError("pipeline has no stages")
+        seen: Dict[str, StageSpec] = {}
+        all_op_names: List[str] = []
+        for st in self.stages:
+            if st.name in seen:
+                raise PipelineError(f"duplicate stage name {st.name!r}")
+            for up in st.upstream:
+                if up not in seen:
+                    raise PipelineError(
+                        f"stage {st.name!r} references unknown or later "
+                        f"upstream stage {up!r}"
+                    )
+            seen[st.name] = st
+            for i in range(st.width):
+                all_op_names.extend(st.instance_op_names(i))
+        if len(set(all_op_names)) != len(all_op_names):
+            dupes = sorted({n for n in all_op_names if all_op_names.count(n) > 1})
+            raise PipelineError(f"operator names collide across stages: {dupes}")
+        self._by_name = seen
+        # Placement groups: every stage exactly once, consistent widths.
+        grouped: List[str] = []
+        for group in self.groups:
+            if not group:
+                raise PipelineError("empty placement group")
+            widths = set()
+            for sname in group:
+                if sname not in self._by_name:
+                    raise PipelineError(f"placement group names unknown stage {sname!r}")
+                widths.add(self._by_name[sname].width)
+            if len(widths) != 1:
+                raise PipelineError(
+                    f"placement group {group!r} mixes stage widths {sorted(widths)}"
+                )
+            grouped.extend(group)
+        if sorted(grouped) != sorted(self._by_name):
+            missing = sorted(set(self._by_name) - set(grouped))
+            extra = sorted({n for n in grouped if grouped.count(n) > 1})
+            raise PipelineError(
+                f"placement groups must cover every stage exactly once "
+                f"(missing={missing}, repeated={extra})"
+            )
+        op_names = set(all_op_names)
+        for op_name, _fn in self.workloads:
+            if op_name not in op_names:
+                raise PipelineError(f"workload bound to unknown operator {op_name!r}")
+
+    # -- compilation -----------------------------------------------------------
+    def build_graph(self) -> QueryGraph:
+        """Compile to a fresh :class:`QueryGraph` (independent operators)."""
+        g = QueryGraph()
+        for st in self.stages:
+            for i in range(st.width):
+                for od in st.ops:
+                    g.add_operator(od.factory(st.op_name(od.name, i)))
+        for st in self.stages:
+            for up_name in st.upstream:
+                up = self._by_name[up_name]
+                if up.width == st.width and st.width > 1:
+                    pairs = [(i, i) for i in range(st.width)]
+                else:
+                    pairs = [(ui, di)
+                             for di in range(st.width)
+                             for ui in range(up.width)]
+                for ui, di in pairs:
+                    g.connect(up.exit_name(ui), st.entry_name(di))
+            for i in range(st.width):
+                names = st.instance_op_names(i)
+                for a, b in zip(names, names[1:]):
+                    g.connect(a, b)
+        return g
+
+    def expanded_groups(self) -> List[List[str]]:
+        """The placement groups expanded to operator names, phone order."""
+        out: List[List[str]] = []
+        for group in self.groups:
+            width = self._by_name[group[0]].width
+            if width == 1:
+                out.append([op
+                            for sname in group
+                            for op in self._by_name[sname].instance_op_names(0)])
+            else:
+                for i in range(width):
+                    out.append([op
+                                for sname in group
+                                for op in self._by_name[sname].instance_op_names(i)])
+        return out
+
+
+class PipelineApp(AppSpec):
+    """An :class:`AppSpec` compiled from a :class:`PipelineSpec`.
+
+    Applications subclass this and hand the constructor their compiled
+    pipeline; everything the system needs (graph, placement, workloads,
+    phone budget) derives from it.
+    """
+
+    def __init__(self, pipeline: PipelineSpec) -> None:
+        self.pipeline = pipeline
+        self.name = pipeline.name
+
+    def build_graph(self) -> QueryGraph:
+        return self.pipeline.build_graph()
+
+    def build_placement(self, phone_ids: List[str]) -> Placement:
+        return Placement.pack_groups(self.pipeline.expanded_groups(), phone_ids)
+
+    def compute_phones_needed(self) -> int:
+        """One phone per expanded placement group."""
+        return len(self.pipeline.expanded_groups())
+
+    def build_workloads(self, rng: "RngRegistry", region_index: int):
+        workloads = {}
+        for op_name, fn in self.pipeline.workloads:
+            workload = fn(rng, region_index)
+            if workload is not None:
+                workloads[op_name] = workload
+        return workloads
+
+    def describe(self) -> Dict[str, object]:
+        """Structure summary for ``repro app show`` (no simulation state)."""
+        graph = self.build_graph()
+        operators = [
+            {
+                "name": op.name,
+                "type": type(op).__name__,
+                "state_bytes": op.state_size(),
+                "source": op.is_source,
+                "sink": op.is_sink,
+            }
+            for op in graph.operators()
+        ]
+        return {
+            "name": self.name,
+            "stages": [
+                {"stage": st.name, "width": st.width,
+                 "ops": [od.name for od in st.ops],
+                 "upstream": list(st.upstream)}
+                for st in self.pipeline.stages
+            ],
+            "operators": operators,
+            "sources": graph.source_names(),
+            "sinks": graph.sink_names(),
+            "placement_groups": self.pipeline.expanded_groups(),
+            "phones_needed": self.compute_phones_needed(),
+        }

@@ -1,10 +1,18 @@
-"""The SignalGuru application assembly: graph, placement, workloads (Fig. 3)."""
+"""The SignalGuru application assembly: graph, placement, workloads (Fig. 3).
+
+Ported onto the declarative :class:`~repro.apps.pipeline.PipelineSpec`
+builder: the three parallel color/shape/motion filter chains are one
+width-3 chain stage, so the compiled graph, placement, and workload
+bindings match the hand-wired original exactly (guarded byte-for-byte
+by the golden artifact hashes in ``tests/perf/``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List
+from typing import TYPE_CHECKING
 
+from repro.apps.pipeline import OpDef, PipelineApp, PipelineSpec, StageSpec, stage
 from repro.apps.signalguru.operators import (
     CameraSource,
     ColorFilter,
@@ -18,9 +26,6 @@ from repro.apps.signalguru.operators import (
 )
 from repro.apps.signalguru.signal_model import TrafficSignal
 from repro.apps.vision import FrameSpec
-from repro.core.app import AppSpec
-from repro.core.graph import QueryGraph
-from repro.core.placement import Placement
 from repro.util.units import KB
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,53 +66,44 @@ class SignalGuruParams:
             raise ValueError("need at least one chain")
 
 
-class SignalGuruApp(AppSpec):
-    """SignalGuru as an :class:`~repro.core.app.AppSpec`."""
+class SignalGuruApp(PipelineApp):
+    """SignalGuru as a compiled pipeline (Fig. 3)."""
 
     name = "signalguru"
 
     def __init__(self, params: SignalGuruParams | None = None) -> None:
         self.params = params or SignalGuruParams()
-
-    # -- graph (Fig. 3) -------------------------------------------------------
-    def build_graph(self) -> QueryGraph:
         p = self.params
-        g = QueryGraph()
-        g.add_operator(IntersectionSource("S0"))
-        g.add_operator(CameraSource("S1"))
-        for i in range(p.n_chains):
-            g.add_operator(ColorFilter(f"C{i}", cost_s=p.color_cost))
-            g.add_operator(ShapeFilter(f"A{i}", cost_s=p.shape_cost))
-            g.add_operator(MotionFilter(f"M{i}", cost_s=p.motion_cost))
-        g.add_operator(VotingFilter("V"))
-        g.add_operator(GroupOperator("G"))
-        g.add_operator(SVMPredictor("P", cycle_s=p.signal.cycle_s))
-        g.add_operator(IntersectionSink("K"))
-
-        for i in range(p.n_chains):
-            g.chain("S1", f"C{i}", f"A{i}", f"M{i}", "V")
-        g.connect("S0", "G")
-        g.chain("V", "G", "P", "K")
-        return g
-
-    # -- placement ----------------------------------------------------------
-    def build_placement(self, phone_ids: List[str]) -> Placement:
-        p = self.params
-        groups = [["S0"], ["S1"]]
-        groups += [[f"C{i}", f"A{i}", f"M{i}"] for i in range(p.n_chains)]
-        groups += [["V"], ["G", "P"], ["K"]]
-        return Placement.pack_groups(groups, phone_ids)
-
-    def compute_phones_needed(self) -> int:
-        return self.params.n_chains + 5
+        super().__init__(PipelineSpec(
+            name="signalguru",
+            stages=(
+                stage("S0", IntersectionSource),
+                stage("S1", CameraSource),
+                StageSpec(
+                    name="chains",
+                    ops=(
+                        OpDef("C", lambda n: ColorFilter(n, cost_s=p.color_cost)),
+                        OpDef("A", lambda n: ShapeFilter(n, cost_s=p.shape_cost)),
+                        OpDef("M", lambda n: MotionFilter(n, cost_s=p.motion_cost)),
+                    ),
+                    width=p.n_chains,
+                    upstream=("S1",),
+                    numbered=True,
+                ),
+                stage("V", VotingFilter, upstream=("chains",)),
+                stage("G", GroupOperator, upstream=("S0", "V")),
+                stage("P", lambda n: SVMPredictor(n, cycle_s=p.signal.cycle_s),
+                      upstream=("G",)),
+                stage("K", IntersectionSink, upstream=("P",)),
+            ),
+            groups=(("S0",), ("S1",), ("chains",), ("V",), ("G", "P"), ("K",)),
+            workloads=(
+                ("S1", self._camera),
+                ("S0", lambda rng, r: self._upstream_feed(rng) if r == 0 else None),
+            ),
+        ))
 
     # -- workloads -------------------------------------------------------------
-    def build_workloads(self, rng: "RngRegistry", region_index: int) -> Dict[str, Iterable]:
-        workloads: Dict[str, Iterable] = {"S1": self._camera(rng, region_index)}
-        if region_index == 0:
-            workloads["S0"] = self._upstream_feed(rng)
-        return workloads
-
     def _camera(self, rng: "RngRegistry", region_index: int):
         p = self.params
         gen = rng.stream(f"sg.camera.{region_index}")

@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.apps.registry import AppRef, AppRefLike
 from repro.core.metrics import MetricsReport
 from repro.scenarios.runner import (  # noqa: F401  (compat re-exports)
     app_factory,
     run_case,
     scheme_factories,
+    scheme_factory,
 )
 from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
 
@@ -41,9 +43,14 @@ def _normalize_faults(value: FaultSpec) -> List[FaultTuple]:
 
 @dataclass
 class ExperimentConfig:
-    """One simulated deployment run."""
+    """One simulated deployment run.
 
-    app: str = "bcp"
+    ``app`` is any app ref: a registered name or a parameterized
+    ``{"name": ..., "params": {...}}`` mapping (see
+    :mod:`repro.apps.registry`).
+    """
+
+    app: AppRefLike = "bcp"
     scheme: str = "base"
     duration_s: float = 900.0
     warmup_s: float = 150.0
@@ -77,7 +84,7 @@ class ExperimentConfig:
             for t, idxs in self.depart_events
         ]
         return ScenarioSpec(
-            name=f"bench-{self.app}-{self.scheme}",
+            name=f"bench-{AppRef.coerce(self.app).key}-{self.scheme}",
             duration_s=self.duration_s,
             warmup_s=self.warmup_s,
             n_regions=self.n_regions,

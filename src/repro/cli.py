@@ -12,6 +12,9 @@ Commands
     The scenario engine: ``list`` the named library, ``show`` a spec as
     JSON, ``run`` a scenario's matrix serially, or ``sweep`` it across
     a process pool (``--jobs N``) into a JSON artifact.
+``app``
+    The application registry: ``list`` the registered apps, ``show``
+    one app's operators, sources, placement, and tunable parameters.
 ``perf``
     The performance subsystem: ``run`` the benchmark suites into
     ``BENCH_<suite>.json`` artifacts, ``compare`` a run against the
@@ -31,6 +34,8 @@ Examples
     python -m repro scenario list
     python -m repro scenario run paper-fig8 --quick
     python -m repro scenario sweep flash-crowd --jobs 4 --out sweep.json
+    python -m repro app list
+    python -m repro app show edgeml
     python -m repro perf run --quick
     python -m repro perf compare --threshold 0.25
     python -m repro info
@@ -42,11 +47,12 @@ import argparse
 import sys
 from typing import List, Optional, Tuple
 
+from repro.apps import registry as app_registry
 from repro.bench.fig8 import PAPER_LATENCY, SCHEME_ORDER
 from repro.bench.harness import ExperimentConfig, run_experiment, scheme_factories
 from repro.bench.table1 import PAPER as TABLE1_PAPER
 
-APPS = ("bcp", "signalguru")
+APPS = tuple(app_registry.app_names())
 
 
 def _parse_fault(spec: str) -> Tuple[float, List[int]]:
@@ -121,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
                                  "sweeps of >= 100 cases)")
         layout.add_argument("--pretty", dest="compact", action="store_false",
                             help="force indented JSON even for huge sweeps")
+
+    app_p = sub.add_parser("app", help="application registry commands")
+    app_sub = app_p.add_subparsers(dest="app_command", required=True)
+    app_sub.add_parser("list", help="list the registered applications")
+    app_show = app_sub.add_parser(
+        "show", help="print one app's operators, placement, and parameters")
+    app_show.add_argument("name")
 
     perf_p = sub.add_parser("perf", help="performance benchmarks")
     perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
@@ -258,6 +271,61 @@ def cmd_scenario(args) -> int:
     return 1 if stopped_any else 0
 
 
+def cmd_app(args) -> int:
+    from repro.bench.harness import format_table
+
+    if args.app_command == "list":
+        rows = []
+        for entry in app_registry.all_apps():
+            app = entry.create()
+            rows.append([
+                entry.name,
+                f"{len(app.build_graph())}",
+                f"{app.compute_phones_needed()}",
+                f"{len(entry.param_fields())}",
+                entry.description.split(":")[0],
+            ])
+        print(format_table(
+            ["app", "operators", "phones", "params", "summary"],
+            rows, title=f"{len(rows)} registered applications"))
+        return 0
+
+    # show
+    try:
+        entry = app_registry.get_app(args.name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    app = entry.create()
+    info = app.describe() if hasattr(app, "describe") else None
+    print(f"{entry.name}: {entry.description}")
+    if info:
+        print("\nstages:")
+        for st in info["stages"]:
+            wiring = f" <- {', '.join(st['upstream'])}" if st["upstream"] else ""
+            width = f" x{st['width']}" if st["width"] > 1 else ""
+            print(f"  {st['stage']:<8s} [{', '.join(st['ops'])}]{width}{wiring}")
+        print("\noperators:")
+        for op in info["operators"]:
+            role = ("source" if op["source"] else
+                    "sink" if op["sink"] else "")
+            state = (f"state {op['state_bytes'] / 1024:.0f} KB"
+                     if op["state_bytes"] else "")
+            detail = "  ".join(x for x in (role, state) if x)
+            print(f"  {op['name']:<4s} {op['type']:<20s} {detail}")
+        groups = " | ".join(",".join(g) for g in info["placement_groups"])
+        print(f"\nplacement ({info['phones_needed']} phones): {groups}")
+    fields = entry.param_fields()
+    if fields:
+        print("\ntunable params (JSON ref: "
+              f'{{"name": "{entry.name}", "params": {{...}}}}):')
+        print(format_table(["param", "type", "default"],
+                           [list(row) for row in fields]))
+    else:
+        print("\n(no tunable params)")
+    return 0
+
+
 def cmd_perf(args) -> int:
     from repro.perf import cli as perf_cli
 
@@ -274,11 +342,11 @@ def cmd_perf(args) -> int:
 
 
 def cmd_info(args) -> int:
-    print("applications:")
-    print("  bcp         Bus Capacity Prediction (Fig. 2): camera frames ->")
-    print("              Haar-style face counting -> boarding/capacity models")
-    print("  signalguru  SignalGuru (Fig. 3): color/shape/motion filters ->")
-    print("              SVM traffic-signal prediction")
+    print("applications (see `repro app list`):")
+    for entry in app_registry.all_apps():
+        head, _, tail = entry.description.partition(": ")
+        print(f"  {entry.name:<11s} {head}:")
+        print(f"  {'':<11s} {tail}")
     print("\nfault-tolerance schemes:")
     for label, factory in scheme_factories().items():
         scheme = factory() if callable(factory) else factory
@@ -298,7 +366,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     return {"run": cmd_run, "bench": cmd_bench, "scenario": cmd_scenario,
-            "perf": cmd_perf, "info": cmd_info}[args.command](args)
+            "app": cmd_app, "perf": cmd_perf, "info": cmd_info}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

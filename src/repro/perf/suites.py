@@ -269,6 +269,7 @@ _SCENARIO_CASES = (
     ("paper-fig8", "bcp", "ms-8", 3),
     ("paper-fig8", "signalguru", "ms-8", 3),
     ("failure-cascade", "bcp", "ms-8", 3),
+    ("edgeml-baseline", "edgeml", "ms-8", 3),
 )
 
 

@@ -112,6 +112,40 @@ HETEROGENEOUS_FLEET = register(ScenarioSpec(
     matrix=MatrixSpec(apps=("bcp",), schemes=("base", "ms-8"), seeds=(3,)),
 ))
 
+EDGEML_BASELINE = register(ScenarioSpec(
+    name="edgeml-baseline",
+    description="Split-DNN edge inference, fault-free: megabytes of "
+                "per-partition weight state make checkpoint traffic the "
+                "overhead story — how do the schemes rank on a workload "
+                "the paper never measured?",
+    duration_s=900.0,
+    warmup_s=150.0,
+    matrix=MatrixSpec(apps=("edgeml",), schemes=("base", "dist-2", "ms-8"),
+                      seeds=(3,)),
+))
+
+EDGEML_SPLIT_SWEEP = register(ScenarioSpec(
+    name="edgeml-split-sweep",
+    description="Where to split the network: shallow splits keep weights "
+                "off the phones but ship fat tensors, deep splits invert "
+                "the trade — swept via parameterized app refs, with a "
+                "mid-run crash of a partition phone.",
+    duration_s=900.0,
+    warmup_s=150.0,
+    idle_per_region=4,
+    # Phone 2 hosts a partition stage at every swept split depth.
+    events=(EventSpec(kind="crash", time=450.0, phones=(2,)),),
+    matrix=MatrixSpec(
+        apps=(
+            {"name": "edgeml", "params": {"n_stages": 2}},
+            {"name": "edgeml", "params": {"n_stages": 4}},
+            {"name": "edgeml", "params": {"n_stages": 6}},
+        ),
+        schemes=("ms-8",),
+        seeds=(3,),
+    ),
+))
+
 BATTERY_CLIFF = register(ScenarioSpec(
     name="battery-cliff",
     description="Two phones fall off a battery cliff to the chronic "

@@ -20,7 +20,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.apps import BCPApp, SignalGuruApp
+from repro.apps.registry import AppRef, AppRefLike, create_app, get_app
 from repro.baselines import (
     ActiveStandby,
     DistributedCheckpoint,
@@ -52,18 +52,36 @@ def scheme_factories(checkpoint_period_s: float = 300.0) -> Dict[str, Callable]:
     }
 
 
-def app_factory(app_name: str):
-    """'bcp' or 'signalguru' -> a fresh AppSpec factory."""
-    if app_name == "bcp":
-        return BCPApp
-    if app_name == "signalguru":
-        return SignalGuruApp
-    raise ValueError(f"unknown app {app_name!r}")
+def scheme_factory(scheme: str, checkpoint_period_s: float = 300.0) -> Callable:
+    """One scheme's factory; unknown names raise with the known labels."""
+    factories = scheme_factories(checkpoint_period_s)
+    try:
+        return factories[scheme]
+    except KeyError:
+        known = ", ".join(factories)
+        raise ValueError(
+            f"unknown scheme {scheme!r}; known schemes: {known}"
+        ) from None
+
+
+def app_factory(app: AppRefLike):
+    """Back-compat shim: a fresh-AppSpec factory for any app ref.
+
+    New code should use :func:`repro.apps.registry.create_app`; this
+    keeps the historical ``app_factory("bcp")()`` call shape working.
+    """
+    ref = AppRef.coerce(app)
+    entry = get_app(ref.name)  # raises ValueError naming the known apps
+    return lambda: entry.create(ref)
 
 
 @dataclass
 class CaseResult:
-    """One executed (app, scheme, seed) case of a scenario."""
+    """One executed (app, scheme, seed) case of a scenario.
+
+    ``app`` is the ref's deterministic case key (``"bcp"``, or
+    ``"edgeml[n_stages=2]"`` for parameterized refs).
+    """
 
     scenario: str
     app: str
@@ -78,7 +96,7 @@ class CaseResult:
 
 
 def build_system(
-    spec: ScenarioSpec, app: str, scheme: str, seed: int
+    spec: ScenarioSpec, app: AppRefLike, scheme: str, seed: int
 ) -> MobiStreamsSystem:
     """A fresh deployment for one case of ``spec``."""
     region_builds: Optional[List[Optional[RegionBuildSpec]]] = None
@@ -102,12 +120,12 @@ def build_system(
     )
     return MobiStreamsSystem(
         sys_cfg,
-        app_factory(app)(),
-        scheme_factories(spec.checkpoint_period_s)[scheme],
+        create_app(app),
+        scheme_factory(scheme, spec.checkpoint_period_s),
     )
 
 
-def run_case(spec: ScenarioSpec, app: str, scheme: str, seed: int) -> CaseResult:
+def run_case(spec: ScenarioSpec, app: AppRefLike, scheme: str, seed: int) -> CaseResult:
     """Build, script, run, and measure one case."""
     system = build_system(spec, app, scheme, seed)
     director = EventDirector(system, spec)
@@ -118,7 +136,7 @@ def run_case(spec: ScenarioSpec, app: str, scheme: str, seed: int) -> CaseResult
     report = system.metrics(warmup_s=spec.warmup_s)
     return CaseResult(
         scenario=spec.name,
-        app=app,
+        app=AppRef.coerce(app).key,
         scheme=scheme,
         seed=seed,
         report=report,
@@ -159,7 +177,7 @@ def case_to_dict(result: CaseResult) -> Dict[str, Any]:
     }
 
 
-def _sweep_worker(payload: Tuple[Dict[str, Any], str, str, int]) -> Dict[str, Any]:
+def _sweep_worker(payload: Tuple[Dict[str, Any], AppRef, str, int]) -> Dict[str, Any]:
     """Pool worker: rebuild the spec from its dict form, run one case."""
     spec_dict, app, scheme, seed = payload
     spec = ScenarioSpec.from_dict(spec_dict)
@@ -188,6 +206,12 @@ def run_sweep(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    # Fail fast on a bad matrix axis (typo'd app/scheme, ill-typed
+    # params) before any case burns simulation time.
+    for app in spec.matrix.apps:
+        get_app(app.name).make_params(app.params)
+    for scheme in spec.matrix.schemes:
+        scheme_factory(scheme, spec.checkpoint_period_s)
     cases = list(spec.matrix.cases())
     if jobs > 1 and len(cases) > 1:
         payloads = [(spec.to_dict(), app, scheme, seed) for app, scheme, seed in cases]

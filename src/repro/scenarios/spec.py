@@ -43,6 +43,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.apps.registry import AppRef, AppRefLike
+
 EVENT_KINDS = (
     "crash", "cascade", "depart", "churn", "join", "handoff", "surge", "battery",
 )
@@ -114,21 +116,39 @@ class RegionSpec:
 
 @dataclass(frozen=True)
 class MatrixSpec:
-    """The app × scheme × seed product a scenario sweeps."""
+    """The app × scheme × seed product a scenario sweeps.
 
-    apps: Tuple[str, ...] = ("bcp",)
+    ``apps`` entries are :class:`~repro.apps.registry.AppRef`-likes: a
+    bare registered name (``"bcp"``) or a parameterized mapping
+    (``{"name": "bcp", "params": {"n_counters": 8}}``); they normalize
+    to :class:`AppRef` so a matrix can sweep application parameters,
+    not just application identities.  Duplicate entries on any axis are
+    rejected — they would run identical cases whose artifacts collide.
+    """
+
+    apps: Tuple[AppRefLike, ...] = ("bcp",)
     schemes: Tuple[str, ...] = ("ms-8",)
     seeds: Tuple[int, ...] = (3,)
 
     def __post_init__(self) -> None:
         if not (self.apps and self.schemes and self.seeds):
             raise ValueError("matrix axes must be non-empty")
-        object.__setattr__(self, "apps", tuple(self.apps))
+        object.__setattr__(
+            self, "apps", tuple(AppRef.coerce(a) for a in self.apps))
         object.__setattr__(self, "schemes", tuple(self.schemes))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        for axis, values in (("apps", [a.key for a in self.apps]),
+                             ("schemes", self.schemes),
+                             ("seeds", self.seeds)):
+            if len(set(values)) != len(values):
+                dupes = sorted({v for v in values if values.count(v) > 1})
+                raise ValueError(
+                    f"duplicate {axis} entries {dupes}: identical cases "
+                    "would run twice and collide in artifacts"
+                )
 
-    def cases(self) -> Iterator[Tuple[str, str, int]]:
-        """Every (app, scheme, seed) combination, in deterministic order."""
+    def cases(self) -> Iterator[Tuple[AppRef, str, int]]:
+        """Every (app ref, scheme, seed) combination, in deterministic order."""
         for app in self.apps:
             for scheme in self.schemes:
                 for seed in self.seeds:
@@ -136,6 +156,15 @@ class MatrixSpec:
 
     def __len__(self) -> int:
         return len(self.apps) * len(self.schemes) * len(self.seeds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; param-free app refs stay bare strings, so
+        pre-existing scenario artifacts are byte-identical."""
+        return {
+            "apps": [a.to_jsonable() for a in self.apps],
+            "schemes": list(self.schemes),
+            "seeds": list(self.seeds),
+        }
 
 
 @dataclass(frozen=True)
@@ -208,7 +237,7 @@ class ScenarioSpec:
         d = dataclasses.asdict(self)
         d["regions"] = [dataclasses.asdict(r) for r in self.regions]
         d["events"] = [dataclasses.asdict(e) for e in self.events]
-        d["matrix"] = dataclasses.asdict(self.matrix)
+        d["matrix"] = self.matrix.to_dict()
         return d
 
     @classmethod

@@ -1,0 +1,194 @@
+"""Tests for the declarative pipeline builder and the app ports onto it."""
+
+import pytest
+
+from repro.apps import BCPApp, SignalGuruApp
+from repro.apps.pipeline import (
+    OpDef,
+    PipelineApp,
+    PipelineError,
+    PipelineSpec,
+    StageSpec,
+    stage,
+)
+from repro.core.operator import MapOperator, SinkOperator, SourceOperator
+
+
+def src(name):
+    return SourceOperator(name)
+
+
+def mid(name):
+    return MapOperator(name, lambda p: p)
+
+
+def snk(name):
+    return SinkOperator(name)
+
+
+def toy(width=2):
+    return PipelineSpec(
+        name="toy",
+        stages=(
+            stage("S", src),
+            stage("W", mid, upstream=("S",), width=width),
+            stage("K", snk, upstream=("W",)),
+        ),
+        groups=(("S",), ("W",), ("K",)),
+    )
+
+
+# -- compilation --------------------------------------------------------------
+def test_toy_pipeline_compiles_and_validates():
+    g = toy().build_graph()
+    g.validate()
+    assert g.names() == ["S", "W0", "W1", "K"]
+    assert g.downstream_of("S") == ["W0", "W1"]
+    assert g.upstream_of("K") == ["W0", "W1"]
+
+
+def test_expanded_groups_pair_parallel_instances():
+    p = PipelineSpec(
+        name="paired",
+        stages=(
+            stage("S", src),
+            StageSpec("chain", ops=(OpDef("X", mid), OpDef("Y", mid)),
+                      width=2, upstream=("S",)),
+            stage("K", snk, upstream=("chain",)),
+        ),
+        groups=(("S",), ("chain",), ("K",)),
+    )
+    assert p.expanded_groups() == [["S"], ["X0", "Y0"], ["X1", "Y1"], ["K"]]
+    g = p.build_graph()
+    # Equal-width stages connect pairwise, and chains stay internal.
+    assert g.downstream_of("X0") == ["Y0"]
+    assert g.downstream_of("Y1") == ["K"]
+
+
+def test_equal_width_stages_connect_pairwise_not_crosswise():
+    p = PipelineSpec(
+        name="pairs",
+        stages=(
+            stage("S", src),
+            stage("A", mid, upstream=("S",), width=3),
+            stage("B", mid, upstream=("A",), width=3),
+            stage("K", snk, upstream=("B",)),
+        ),
+        groups=(("S",), ("A", "B"), ("K",)),
+    )
+    g = p.build_graph()
+    assert g.downstream_of("A1") == ["B1"]
+    assert g.upstream_of("B2") == ["A2"]
+    assert p.expanded_groups() == [["S"], ["A0", "B0"], ["A1", "B1"],
+                                   ["A2", "B2"], ["K"]]
+
+
+def test_numbered_flag_keeps_suffix_at_width_one():
+    p = PipelineSpec(
+        name="one",
+        stages=(
+            stage("S", src),
+            stage("C", mid, upstream=("S",), width=1, numbered=True),
+            stage("K", snk, upstream=("C",)),
+        ),
+        groups=(("S",), ("C",), ("K",)),
+    )
+    assert p.build_graph().names() == ["S", "C0", "K"]
+
+
+def test_workloads_bind_in_order_and_can_skip_regions():
+    calls = []
+
+    def camera(rng, region):
+        calls.append(("cam", region))
+        return iter(())
+
+    def feed(rng, region):
+        calls.append(("feed", region))
+        return iter(()) if region == 0 else None
+
+    p = PipelineSpec(
+        name="wl",
+        stages=(stage("A", src), stage("B", src),
+                stage("K", snk, upstream=("A", "B"))),
+        groups=(("A", "B"), ("K",)),
+        workloads=(("B", camera), ("A", feed)),
+    )
+    app = PipelineApp(p)
+    assert list(app.build_workloads(None, 0)) == ["B", "A"]
+    assert list(app.build_workloads(None, 1)) == ["B"]
+    assert calls == [("cam", 0), ("feed", 0), ("cam", 1), ("feed", 1)]
+
+
+# -- validation errors --------------------------------------------------------
+def test_rejects_unknown_or_later_upstream():
+    with pytest.raises(PipelineError, match="unknown or later"):
+        PipelineSpec("x", stages=(stage("A", src, upstream=("B",)),
+                                  stage("B", snk)),
+                     groups=(("A", "B"),))
+
+
+def test_rejects_duplicate_stage_and_colliding_op_names():
+    with pytest.raises(PipelineError, match="duplicate stage"):
+        PipelineSpec("x", stages=(stage("A", src), stage("A", snk)),
+                     groups=(("A",),))
+    with pytest.raises(PipelineError, match="collide"):
+        PipelineSpec("x", stages=(
+            stage("A0", src),
+            stage("A", mid, width=2, upstream=("A0",)),  # makes A0, A1
+            stage("K", snk, upstream=("A",)),
+        ), groups=(("A0",), ("A",), ("K",)))
+
+
+def test_rejects_bad_placement_groups():
+    with pytest.raises(PipelineError, match="exactly once"):
+        PipelineSpec("x", stages=(stage("A", src), stage("K", snk, upstream=("A",))),
+                     groups=(("A",),))  # K missing
+    with pytest.raises(PipelineError, match="mixes stage widths"):
+        PipelineSpec("x", stages=(
+            stage("A", src),
+            stage("B", mid, upstream=("A",), width=2),
+            stage("K", snk, upstream=("B",)),
+        ), groups=(("A", "B"), ("K",)))
+
+
+def test_rejects_workload_on_unknown_operator():
+    with pytest.raises(PipelineError, match="unknown operator"):
+        PipelineSpec("x", stages=(stage("A", src), stage("K", snk, upstream=("A",))),
+                     groups=(("A",), ("K",)),
+                     workloads=(("Z", lambda rng, r: None),))
+
+
+# -- the ports ---------------------------------------------------------------
+def test_bcp_port_reproduces_the_hand_wired_graph():
+    g = BCPApp().build_graph()
+    assert g.names() == ["S0", "N", "A", "L", "S1", "H", "D",
+                         "C0", "C1", "C2", "C3", "B", "J", "P", "K"]
+    assert g.downstream_of("D") == ["C0", "C1", "C2", "C3"]
+    assert g.upstream_of("J") == ["A", "L", "B"]
+    app = BCPApp()
+    assert app.pipeline.expanded_groups() == [
+        ["S0", "N"], ["S1", "H", "D"], ["C0"], ["C1"], ["C2"], ["C3"],
+        ["A", "L", "B", "J"], ["P", "K"]]
+    assert app.compute_phones_needed() == 8
+
+
+def test_signalguru_port_reproduces_the_hand_wired_graph():
+    g = SignalGuruApp().build_graph()
+    assert g.names() == ["S0", "S1", "C0", "A0", "M0", "C1", "A1", "M1",
+                         "C2", "A2", "M2", "V", "G", "P", "K"]
+    assert g.upstream_of("V") == ["M0", "M1", "M2"]
+    assert g.upstream_of("G") == ["S0", "V"]
+    app = SignalGuruApp()
+    assert app.pipeline.expanded_groups() == [
+        ["S0"], ["S1"], ["C0", "A0", "M0"], ["C1", "A1", "M1"],
+        ["C2", "A2", "M2"], ["V"], ["G", "P"], ["K"]]
+    assert app.compute_phones_needed() == 8
+
+
+def test_describe_summarizes_structure():
+    info = BCPApp().describe()
+    assert info["phones_needed"] == 8
+    assert info["sources"] == ["S0", "S1"]
+    assert info["sinks"] == ["K"]
+    assert any(op["state_bytes"] > 0 for op in info["operators"])

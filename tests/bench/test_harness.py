@@ -124,7 +124,7 @@ def test_config_compiles_to_scenario_spec():
     spec = cfg.to_scenario()
     assert [e.kind for e in spec.events] == ["crash", "depart"]
     assert spec.events[0].phones == (3, 4)
-    assert spec.matrix.apps == ("bcp",)
+    assert tuple(a.key for a in spec.matrix.apps) == ("bcp",)
     assert spec.matrix.schemes == ("ms-8",)
     assert spec.matrix.seeds == (3,)
 

@@ -70,6 +70,14 @@ def test_scenario_sweep():
     assert "ms-8 recovered" in out
 
 
+def test_edgeml_sweep():
+    out = run_example("edgeml_sweep.py")
+    assert "edgeml split profiles" in out
+    assert "round-trips through JSON: True" in out
+    assert "edgeml[n_stages=2]" in out
+    assert "edgeml[n_stages=6]" in out
+
+
 def test_failure_burst_imports():
     """The sweep itself takes minutes; just verify the module loads and
     its scheme/tolerance wiring is consistent."""

@@ -1,0 +1,118 @@
+"""Parameterized app refs through the scenario engine, end to end."""
+
+import json
+
+import pytest
+
+from repro import scenarios
+from repro.apps.registry import AppRef
+from repro.scenarios.runner import run_case, run_sweep
+from repro.scenarios.spec import MatrixSpec, ScenarioSpec
+
+
+def edgeml_spec(**kwargs):
+    defaults = dict(
+        name="edgeml-t", duration_s=200.0, warmup_s=40.0, idle_per_region=4,
+        checkpoint_period_s=60.0,
+        matrix=MatrixSpec(
+            apps=("edgeml", {"name": "edgeml", "params": {"n_stages": 2}}),
+            schemes=("ms-8",),
+            seeds=(3,),
+        ),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+# -- matrix coercion and validation ------------------------------------------
+def test_matrix_coerces_mixed_ref_forms():
+    m = edgeml_spec().matrix
+    assert all(isinstance(a, AppRef) for a in m.apps)
+    assert [a.key for a in m.apps] == ["edgeml", "edgeml[n_stages=2]"]
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(apps=("bcp", "bcp")),
+    dict(apps=("bcp", {"name": "bcp", "params": {}})),  # same canonical ref
+    dict(schemes=("ms-8", "ms-8")),
+    dict(seeds=(3, 3)),
+])
+def test_matrix_rejects_duplicate_axis_entries(kwargs):
+    with pytest.raises(ValueError, match="duplicate"):
+        MatrixSpec(**kwargs)
+
+
+def test_same_app_with_different_params_is_not_a_duplicate():
+    m = MatrixSpec(apps=({"name": "edgeml", "params": {"n_stages": 2}},
+                         {"name": "edgeml", "params": {"n_stages": 4}}))
+    assert len(m.apps) == 2
+
+
+# -- serialization ------------------------------------------------------------
+def test_spec_with_param_refs_round_trips_through_json():
+    spec = edgeml_spec()
+    recovered = ScenarioSpec.from_json(spec.to_json())
+    assert recovered == spec
+    # And the JSON itself keeps bare names for param-free refs.
+    data = json.loads(spec.to_json())
+    assert data["matrix"]["apps"][0] == "edgeml"
+    assert data["matrix"]["apps"][1] == {"name": "edgeml",
+                                         "params": {"n_stages": 2}}
+
+
+def test_param_free_matrix_serializes_as_bare_strings():
+    """The compatibility contract behind the golden artifact hashes."""
+    m = MatrixSpec(apps=("bcp", "signalguru"))
+    assert m.to_dict()["apps"] == ["bcp", "signalguru"]
+
+
+# -- execution ----------------------------------------------------------------
+def test_run_case_with_param_ref_changes_the_deployment():
+    spec = edgeml_spec()
+    result = run_case(spec, {"name": "edgeml", "params": {"n_stages": 2}},
+                      "ms-8", 3)
+    assert result.app == "edgeml[n_stages=2]"
+    assert result.report.per_region["region0"].output_tuples > 0
+
+
+def test_unknown_app_in_case_names_candidates():
+    with pytest.raises(ValueError, match="registered apps"):
+        run_case(edgeml_spec(), "unknown-app", "ms-8", 3)
+
+
+def test_unknown_scheme_in_case_names_candidates():
+    with pytest.raises(ValueError, match="known schemes"):
+        run_case(edgeml_spec(), "edgeml", "ms-9000", 3)
+
+
+def test_edgeml_sweep_is_byte_identical_serial_vs_parallel():
+    """The acceptance bar: an edgeml sweep with parameterized refs
+    aggregated via --jobs 4 serializes byte-for-byte like --jobs 1."""
+    spec = edgeml_spec()
+    serial = scenarios.dumps_result(run_sweep(spec, jobs=1))
+    parallel = scenarios.dumps_result(run_sweep(spec, jobs=4))
+    assert serial == parallel
+    keys = [c["app"] for c in json.loads(serial)["cases"]]
+    assert keys == ["edgeml", "edgeml[n_stages=2]"]
+
+
+def test_sweep_fails_fast_on_bad_matrix_before_running_cases():
+    """A typo'd ref must abort the sweep up front, not after the valid
+    cases have burned their simulation time."""
+    bad = edgeml_spec(matrix=MatrixSpec(
+        apps=("edgeml", {"name": "edgeml", "params": {"n_stages": 2.0}}),
+        schemes=("ms-8",), seeds=(3,)))
+    with pytest.raises(ValueError, match="expects int"):
+        run_sweep(bad, jobs=1)
+    with pytest.raises(ValueError, match="known schemes"):
+        run_sweep(edgeml_spec(matrix=MatrixSpec(
+            apps=("edgeml",), schemes=("ms-9000",), seeds=(3,))), jobs=1)
+
+
+def test_library_edgeml_scenarios_are_registered():
+    names = scenarios.names()
+    assert "edgeml-baseline" in names
+    assert "edgeml-split-sweep" in names
+    sweep = scenarios.get("edgeml-split-sweep")
+    assert [a.key for a in sweep.matrix.apps] == [
+        "edgeml[n_stages=2]", "edgeml[n_stages=4]", "edgeml[n_stages=6]"]

@@ -40,7 +40,8 @@ def test_sweep_runs_the_whole_matrix_in_order():
     result = run_sweep(spec, jobs=1)
     assert result["n_cases"] == 4
     order = [(c["app"], c["scheme"], c["seed"]) for c in result["cases"]]
-    assert order == list(spec.matrix.cases())
+    assert order == [(app.key, scheme, seed)
+                     for app, scheme, seed in spec.matrix.cases()]
 
 
 def test_parallel_sweep_is_byte_identical_to_serial():

@@ -60,9 +60,12 @@ def test_from_dict_accepts_json_lists():
 
 # -- matrix ------------------------------------------------------------------
 def test_matrix_expands_in_deterministic_order():
+    from repro.apps.registry import AppRef
+
     m = MatrixSpec(apps=("a", "b"), schemes=("x",), seeds=(1, 2))
-    assert list(m.cases()) == [("a", "x", 1), ("a", "x", 2),
-                               ("b", "x", 1), ("b", "x", 2)]
+    a, b = AppRef.make("a"), AppRef.make("b")
+    assert list(m.cases()) == [(a, "x", 1), (a, "x", 2),
+                               (b, "x", 1), (b, "x", 2)]
     assert len(m) == 4
 
 
