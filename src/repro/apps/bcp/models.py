@@ -14,6 +14,8 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.checkpoint import snapshots
+
 
 class OnlineStats:
     """Exponentially-weighted mean/variance (the shared estimator core)."""
@@ -34,8 +36,10 @@ class OnlineStats:
         self.var = (1 - self.alpha) * (self.var + self.alpha * delta * delta)
 
     def snapshot(self) -> Dict[str, float]:
-        """Serializable state."""
-        return {"alpha": self.alpha, "mean": self.mean, "var": self.var, "count": self.count}
+        """Serializable state (scalar-only: already a cheap frozen view)."""
+        return snapshots.freeze_state(
+            {"alpha": self.alpha, "mean": self.mean, "var": self.var, "count": self.count}
+        )
 
     def restore(self, state: Optional[Dict[str, float]]) -> None:
         """Reset from :meth:`snapshot` output (None = fresh)."""

@@ -25,6 +25,7 @@ from repro.apps.bcp.models import (
     CapacityModel,
 )
 from repro.apps.vision import FrameSpec, count_blobs
+from repro.checkpoint import snapshots
 from repro.core.operator import Operator, OperatorContext, SinkOperator, SourceOperator
 from repro.core.tuples import StreamTuple
 from repro.util.units import KB
@@ -261,10 +262,12 @@ class JoinOperator(Operator):
         return self._state_size
 
     def snapshot(self) -> Any:
-        return {k: (dict(v) if v else None) for k, v in self.latest.items()}
+        return snapshots.freeze_state(self.latest)
 
     def restore(self, state: Any) -> None:
-        self.latest = dict(state) if state else {"camera": None, "bus": None}
+        self.latest = (
+            snapshots.thaw_state(state) if state else {"camera": None, "bus": None}
+        )
 
 
 class CapacityPredictor(Operator):

@@ -17,11 +17,12 @@ sparse_framework's trade-off, scripted.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.apps.vision import FrameSpec, render_gray
+from repro.checkpoint import snapshots
 from repro.core.operator import Operator, OperatorContext, SinkOperator, SourceOperator
 from repro.core.tuples import StreamTuple
 
@@ -58,6 +59,22 @@ def apply_layers(features: np.ndarray, layers: Sequence[int]) -> np.ndarray:
     for layer in layers:
         feat = feat + np.tanh(layer_weights(layer) @ feat)
     return feat
+
+
+def weight_blob(layers: Sequence[int], weight_bytes: int) -> np.ndarray:
+    """A partition's full-resolution weight tensor, deterministic in its
+    layer range and physically sized to its simulated ``weight_bytes``.
+
+    The projection matrices of :func:`layer_weights` are the *logic* of
+    the partition; this blob is the state a checkpoint must actually
+    hold in host memory — megabytes per stage, constant for the whole
+    run.  It is returned frozen (read-only): every snapshot of an
+    unchanged partition shares this one buffer.
+    """
+    gen = np.random.default_rng(WEIGHT_SEED + 7919 * (int(layers[0]) + 1))
+    blob = gen.standard_normal(max(1, weight_bytes // 8))
+    blob.flags.writeable = False
+    return blob
 
 
 class UplinkSource(SourceOperator):
@@ -101,8 +118,19 @@ class PartitionStage(Operator):
         # The weight matrices are fixed constants of the layer indices;
         # draw them once, not per processed frame.
         self._mats = [layer_weights(l) for l in self.layers]
+        # The multi-MB weight state is materialized lazily: fault-free
+        # runs under the no-FT scheme never snapshot, so they never pay
+        # the allocation.
+        self._weights: Optional[np.ndarray] = None
         self.frames_inferred = 0
         self.activation_mean = 0.0
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The checkpointable weight tensor (frozen, built on first use)."""
+        if self._weights is None:
+            self._weights = weight_blob(self.layers, self._weight_bytes)
+        return self._weights
 
     def process(self, tup: StreamTuple, ctx: OperatorContext) -> List[StreamTuple]:
         data = tup.payload
@@ -126,14 +154,23 @@ class PartitionStage(Operator):
         return self._weight_bytes
 
     def snapshot(self) -> Any:
+        self.weights  # materialize before sharing
         return {
+            "weights": snapshots.snap_attr(self, "_weights"),
             "frames_inferred": self.frames_inferred,
             "activation_mean": self.activation_mean,
         }
 
     def restore(self, state: Any) -> None:
-        self.frames_inferred = int(state["frames_inferred"]) if state else 0
-        self.activation_mean = float(state["activation_mean"]) if state else 0.0
+        if not state:
+            self.frames_inferred = 0
+            self.activation_mean = 0.0
+            return
+        w = state.get("weights")
+        if w is not None:
+            self._weights = snapshots.adopt_array(w, dtype=np.float64)
+        self.frames_inferred = int(state["frames_inferred"])
+        self.activation_mean = float(state["activation_mean"])
 
 
 class PrototypeClassifier(Operator):
@@ -170,6 +207,7 @@ class PrototypeClassifier(Operator):
             # An upstream region's consensus: refresh the prior, emit
             # nothing (the local camera drives this region's output rate).
             cls = int(data.get("class", 0)) % self.n_classes
+            self.upstream_votes = snapshots.writable(self.upstream_votes)
             self.upstream_votes[cls] += 1
             return []
         feat = np.asarray(data["features"], dtype=np.float64)
@@ -193,7 +231,10 @@ class PrototypeClassifier(Operator):
         self.predictions += 1
         if predicted == true_class:
             self.correct += 1
-        # Online supervised update from the labelled frame.
+        # Online supervised update from the labelled frame (un-share
+        # first: a checkpoint may hold these arrays).
+        self.counts = snapshots.writable(self.counts)
+        self.prototypes = snapshots.writable(self.prototypes)
         self.counts[true_class] += 1
         self.prototypes[true_class] += (
             feat - self.prototypes[true_class]
@@ -218,11 +259,11 @@ class PrototypeClassifier(Operator):
 
     def snapshot(self) -> Any:
         return {
-            "prototypes": self.prototypes.copy(),
-            "counts": self.counts.copy(),
+            "prototypes": snapshots.snap_attr(self, "prototypes"),
+            "counts": snapshots.snap_attr(self, "counts"),
             "predictions": self.predictions,
             "correct": self.correct,
-            "upstream_votes": self.upstream_votes.copy(),
+            "upstream_votes": snapshots.snap_attr(self, "upstream_votes"),
         }
 
     def restore(self, state: Any) -> None:
@@ -232,11 +273,13 @@ class PrototypeClassifier(Operator):
             self.predictions = self.correct = 0
             self.upstream_votes = np.zeros(self.n_classes, dtype=np.int64)
             return
-        self.prototypes = np.array(state["prototypes"], dtype=np.float64)
-        self.counts = np.array(state["counts"], dtype=np.int64)
+        self.prototypes = snapshots.adopt_array(state["prototypes"], dtype=np.float64)
+        self.counts = snapshots.adopt_array(state["counts"], dtype=np.int64)
         self.predictions = int(state["predictions"])
         self.correct = int(state["correct"])
-        self.upstream_votes = np.array(state["upstream_votes"], dtype=np.int64)
+        self.upstream_votes = snapshots.adopt_array(
+            state["upstream_votes"], dtype=np.int64
+        )
 
 
 class InferenceSink(SinkOperator):

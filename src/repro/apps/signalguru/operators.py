@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.apps.signalguru.svm import LinearSVM
 from repro.apps.vision import FrameSpec, brightest_blob, channel_maxima
+from repro.checkpoint import snapshots
 from repro.core.operator import Operator, OperatorContext, SinkOperator, SourceOperator
 from repro.core.tuples import StreamTuple
 from repro.util.units import KB
@@ -192,7 +193,7 @@ class VotingFilter(Operator):
         return self._state_size
 
     def snapshot(self) -> Any:
-        return {"recent": list(self.recent)}
+        return snapshots.freeze_state({"recent": self.recent})
 
     def restore(self, state: Any) -> None:
         self.recent = list(state["recent"]) if state else []

@@ -16,6 +16,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.checkpoint import snapshots
+
 
 class LinearSVM:
     """Binary linear SVM trained by Pegasos sub-gradient descent.
@@ -46,6 +48,8 @@ class LinearSVM:
             raise ValueError("labels must be +/-1")
         eta = 1.0 / (self.lam * self._t)
         margin = y * (self.w @ x + self.bias)
+        # Un-share before the in-place updates: a checkpoint may hold w.
+        self.w = snapshots.writable(self.w)
         self.w *= 1.0 - eta * self.lam
         if margin < 1.0:
             self.w += eta * y * x
@@ -87,9 +91,9 @@ class LinearSVM:
 
     # -- state ----------------------------------------------------------------
     def snapshot(self) -> Dict:
-        """Serializable model state."""
+        """Serializable model state (CoW: ``w`` is frozen and shared)."""
         return {
-            "w": self.w.copy(),
+            "w": snapshots.snap_attr(self, "w"),
             "bias": self.bias,
             "t": self._t,
             "lam": self.lam,
@@ -102,7 +106,7 @@ class LinearSVM:
             self.bias = 0.0
             self._t = 1
         else:
-            self.w = np.array(state["w"], dtype=np.float64)
+            self.w = snapshots.adopt_array(state["w"], dtype=np.float64)
             self.bias = float(state["bias"])
             self._t = int(state["t"])
             self.lam = float(state["lam"])

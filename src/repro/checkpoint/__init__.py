@@ -25,6 +25,15 @@ from repro.checkpoint.broadcast import (
     broadcast_checkpoint,
 )
 from repro.checkpoint.scheme import MobiStreamsScheme
+from repro.checkpoint.snapshots import (
+    ChunkStore,
+    adopt_array,
+    freeze_array,
+    freeze_state,
+    snap_attr,
+    thaw_state,
+    writable,
+)
 from repro.checkpoint.store import CheckpointStore, PreservationStore
 from repro.checkpoint.token_protocol import TokenTracker
 
@@ -32,8 +41,15 @@ __all__ = [
     "BroadcastOutcome",
     "BroadcastSettings",
     "CheckpointStore",
+    "ChunkStore",
     "MobiStreamsScheme",
     "PreservationStore",
     "TokenTracker",
+    "adopt_array",
     "broadcast_checkpoint",
+    "freeze_array",
+    "freeze_state",
+    "snap_attr",
+    "thaw_state",
+    "writable",
 ]

@@ -11,11 +11,17 @@ that replicates them is charged separately by
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.checkpoint.snapshots import ChunkStore, eager
 from repro.core.tuples import StreamTuple
 
 NodeKey = frozenset
+
+#: Shared empty mapping for :meth:`CheckpointStore.states_at_mrc` before
+#: any checkpoint completed.
+_EMPTY_STATES: Mapping = MappingProxyType({})
 
 
 class CheckpointStore:
@@ -27,11 +33,14 @@ class CheckpointStore:
     simply ignored, per Section III-D.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, chunks: Optional[ChunkStore] = None) -> None:
         self._states: Dict[int, Dict[NodeKey, Tuple[Any, int]]] = defaultdict(dict)
         self._needed: Dict[int, set] = {}
         self._saved: Dict[int, set] = defaultdict(set)
         self._complete: List[int] = []
+        #: Content-addressed sharing for large snapshot arrays: an
+        #: unchanged operator state costs one buffer across versions.
+        self.chunks = chunks or ChunkStore()
 
     def begin_version(self, version: int, node_ids: Iterable[str]) -> None:
         """Register the participants of checkpoint ``version``."""
@@ -40,6 +49,8 @@ class CheckpointStore:
     def put(self, version: int, node_id: str, op_key: NodeKey, snapshot: Any, size: int) -> bool:
         """Record one node's saved state; returns True if ``version`` is
         now complete."""
+        if not eager():
+            snapshot = self.chunks.intern_state(snapshot)
         self._states[version][op_key] = (snapshot, size)
         self._saved[version].add(node_id)
         needed = self._needed.get(version)
@@ -87,9 +98,18 @@ class CheckpointStore:
         """(snapshot, size) of one node's state at ``version``."""
         return self._states.get(version, {}).get(op_key)
 
-    def states_at_mrc(self) -> Dict[NodeKey, Tuple[Any, int]]:
-        """All node states at the MRC (empty dict before any checkpoint)."""
-        return dict(self._states.get(self.mrc_version, {}))
+    def states_at_mrc(self) -> Mapping[NodeKey, Tuple[Any, int]]:
+        """All node states at the MRC (empty mapping before any checkpoint).
+
+        Returns a read-only *view* of the stored version, not a copy:
+        every restore used to pay a fresh dict (and recovery can restore
+        the same MRC repeatedly).  Callers only iterate and ``.get`` —
+        anyone who needs a mutable mapping must copy explicitly.
+        """
+        states = self._states.get(self.mrc_version)
+        if states is None:
+            return _EMPTY_STATES
+        return MappingProxyType(states)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<CheckpointStore mrc={self.mrc_version} versions={sorted(self._states)}>"
@@ -102,10 +122,20 @@ class PreservationStore:
     the source emits the token of a checkpoint (the cut), and segments
     older than a completed checkpoint are dropped.  Restoration to MRC v
     replays every retained segment >= v, in order.
+
+    Retained tuples are shared by reference — recording, broadcasting,
+    and replaying all hold the same immutable :class:`StreamTuple`
+    objects, so preservation never copies payload bytes.  Segment keys
+    are kept in insertion order, which *is* version order because
+    :meth:`start_segment` enforces monotone versions — so replay walks
+    the dict directly instead of re-sorting every key on every call.
     """
 
     def __init__(self) -> None:
-        self._segments: Dict[int, List[Tuple[str, StreamTuple]]] = defaultdict(list)
+        #: version -> retained (source op, tuple) pairs.  Plain dict, not
+        #: defaultdict: keys must only ever be created at the current
+        #: (largest) version so iteration order stays sorted.
+        self._segments: Dict[int, List[Tuple[str, StreamTuple]]] = {}
         self._current = 0
         self.total_bytes = 0
 
@@ -121,24 +151,37 @@ class PreservationStore:
         self._current = version
 
     def record(self, source_op: str, tup: StreamTuple) -> None:
-        """Preserve one ingested input tuple."""
-        self._segments[self._current].append((source_op, tup))
+        """Preserve one ingested input tuple (by reference, no copy)."""
+        segment = self._segments.get(self._current)
+        if segment is None:
+            # New keys only ever appear at the current version, which
+            # start_segment keeps monotone — insertion order stays sorted.
+            segment = self._segments[self._current] = []
+        segment.append((source_op, tup))
         self.total_bytes += tup.size
 
     def on_checkpoint_complete(self, version: int) -> None:
         """Drop segments made obsolete by a completed checkpoint."""
         for v in list(self._segments):
-            if v < version:
-                for _op, tup in self._segments[v]:
-                    self.total_bytes -= tup.size
-                del self._segments[v]
+            if v >= version:
+                # Keys are sorted: everything after the first survivor
+                # survives too.
+                break
+            for _op, tup in self._segments[v]:
+                self.total_bytes -= tup.size
+            del self._segments[v]
 
     def replay_from(self, version: int) -> List[Tuple[str, StreamTuple]]:
-        """All retained input at or after the cut of ``version``, in order."""
+        """All retained input at or after the cut of ``version``, in order.
+
+        Segment keys are maintained sorted (monotone insertion), so this
+        is a single ordered walk — the per-recovery ``sorted()`` over
+        every retained segment is gone.
+        """
         out: List[Tuple[str, StreamTuple]] = []
-        for v in sorted(self._segments):
+        for v, segment in self._segments.items():
             if v >= version:
-                out.extend(self._segments[v])
+                out.extend(segment)
         return out
 
     def retained_count(self) -> int:

@@ -11,7 +11,9 @@ Commands
 ``scenario``
     The scenario engine: ``list`` the named library, ``show`` a spec as
     JSON, ``run`` a scenario's matrix serially, or ``sweep`` it across
-    a process pool (``--jobs N``) into a JSON artifact.
+    a warm process pool (``--jobs N``) into a streamed JSON artifact.
+    ``--resume`` reuses finished cases from the case-level cache
+    (``--cache-dir``); ``--max-cases N`` runs a partial sweep.
 ``app``
     The application registry: ``list`` the registered apps, ``show``
     one app's operators, sources, placement, and tunable parameters.
@@ -34,6 +36,7 @@ Examples
     python -m repro scenario list
     python -m repro scenario run paper-fig8 --quick
     python -m repro scenario sweep flash-crowd --jobs 4 --out sweep.json
+    python -m repro scenario sweep paper-fig8 --jobs 4 --resume --out sweep.json
     python -m repro app list
     python -m repro app show edgeml
     python -m repro perf run --quick
@@ -127,6 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "sweeps of >= 100 cases)")
         layout.add_argument("--pretty", dest="compact", action="store_false",
                             help="force indented JSON even for huge sweeps")
+        p.add_argument("--resume", action="store_true",
+                       help="reuse finished cases from the resume cache and "
+                            "persist fresh ones (only missing cases run)")
+        p.add_argument("--cache-dir", default=".repro-sweep-cache",
+                       metavar="DIR",
+                       help="resume-cache directory (default "
+                            ".repro-sweep-cache)")
+        p.add_argument("--max-cases", type=int, default=None, metavar="N",
+                       help="stop after the first N matrix cases (partial "
+                            "sweep; pairs with --resume to test resumption)")
 
     app_p = sub.add_parser("app", help="application registry commands")
     app_sub = app_p.add_subparsers(dest="app_command", required=True)
@@ -239,11 +252,23 @@ def cmd_scenario(args) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.max_cases is not None and args.max_cases < 1:
+        print("error: --max-cases must be >= 1", file=sys.stderr)
+        return 2
     if args.quick:
         spec = spec.quick()
     compact = getattr(args, "compact", None)
+    resume_dir = args.cache_dir if args.resume else None
+    from repro.scenarios import executor
+
+    hits_before = executor.stats["cache_hits"]
     result = scenarios.run_sweep(spec, jobs=args.jobs, out_path=args.out,
-                                 compact=compact)
+                                 compact=compact, resume_dir=resume_dir,
+                                 max_cases=args.max_cases)
+    if resume_dir:
+        hits = executor.stats["cache_hits"] - hits_before
+        print(f"resume cache: {hits}/{result['n_cases']} case(s) reused "
+              f"from {resume_dir}", file=sys.stderr)
     if args.scenario_command == "sweep" and args.out:
         print(f"{result['n_cases']} cases -> {args.out}")
         return 0

@@ -218,7 +218,12 @@ class SinkOperator(Operator):
 class StatefulOperator(Operator):
     """Convenience base for operators with a dict state and fixed size.
 
-    Subclasses mutate ``self.state`` freely; snapshot/restore copy it.
+    Subclasses mutate ``self.state`` freely; snapshots follow the
+    copy-on-write protocol of :mod:`repro.checkpoint.snapshots` — array
+    leaves are frozen and shared rather than copied, containers become
+    cheap immutable views.  A subclass that mutates a snapshotted array
+    in place must un-share it first via
+    :func:`repro.checkpoint.snapshots.writable`.
     """
 
     def __init__(self, name: str, state_size: int = 1024) -> None:
@@ -232,7 +237,13 @@ class StatefulOperator(Operator):
         return self._state_size
 
     def snapshot(self) -> Any:
-        return dict(self.state)
+        # Imported here: repro.checkpoint pulls in the scheme/baseline
+        # stack, which imports this module back at load time.
+        from repro.checkpoint import snapshots
+
+        return snapshots.freeze_state(self.state)
 
     def restore(self, state: Any) -> None:
-        self.state = dict(state) if state else {}
+        from repro.checkpoint import snapshots
+
+        self.state = snapshots.thaw_state(state) if state else {}

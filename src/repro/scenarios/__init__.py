@@ -7,12 +7,21 @@
   a built system from a spec's script.
 * :mod:`repro.scenarios.registry` / :mod:`repro.scenarios.library` — the
   name -> spec registry and the built-in scenarios.
-* :mod:`repro.scenarios.runner` — single-case execution and the
-  ``multiprocessing`` sweep executor with canonical JSON artifacts.
+* :mod:`repro.scenarios.runner` — single-case execution and canonical
+  JSON serialization.
+* :mod:`repro.scenarios.executor` — the sweep executor: warm worker
+  pool, case-level resume cache, streaming artifacts.
 """
 
 from repro.scenarios import library as _library  # noqa: F401  (registers built-ins)
 from repro.scenarios.events import EventDirector
+from repro.scenarios.executor import (
+    CaseCache,
+    StreamingSweepWriter,
+    run_sweep,
+    shutdown_pool,
+    spec_digest,
+)
 from repro.scenarios.registry import all_specs, get, names, register, unregister
 from repro.scenarios.runner import (
     CaseResult,
@@ -20,17 +29,18 @@ from repro.scenarios.runner import (
     case_to_dict,
     dumps_result,
     run_case,
-    run_sweep,
 )
 from repro.scenarios.spec import EventSpec, MatrixSpec, RegionSpec, ScenarioSpec
 
 __all__ = [
+    "CaseCache",
     "CaseResult",
     "EventDirector",
     "EventSpec",
     "MatrixSpec",
     "RegionSpec",
     "ScenarioSpec",
+    "StreamingSweepWriter",
     "all_specs",
     "build_system",
     "case_to_dict",
@@ -40,5 +50,7 @@ __all__ = [
     "register",
     "run_case",
     "run_sweep",
+    "shutdown_pool",
+    "spec_digest",
     "unregister",
 ]

@@ -1,0 +1,407 @@
+"""The sweep executor: warm worker pool, resume cache, streaming artifacts.
+
+``run_sweep`` fans a scenario's matrix out over a process pool and
+aggregates per-case metric rows into one canonical JSON artifact.  Three
+properties make sweeps cheap at scale without changing a single output
+byte:
+
+**Warm pool.**  The ``multiprocessing`` pool persists between sweeps
+(module-level, torn down atexit).  Workers receive the spec once, at
+pool build time, through the initializer — not pickled into every case
+payload — so a re-run, a resumed run, or a back-to-back sweep of the
+same spec reuses live workers.  The start method is forkserver-aware:
+``fork`` where the platform offers it (cheapest, inherits warm caches),
+else ``forkserver``, else ``spawn``; override with ``REPRO_MP_START``.
+
+**Ordered streaming.**  Cases run through ``imap`` (order-preserving,
+chunked by a pool-size heuristic), and every finished row is appended
+to the artifact *immediately* — the writer reproduces the exact bytes
+of :func:`~repro.scenarios.runner.dumps_result`, so a streamed artifact
+is indistinguishable from a buffered one, but a long sweep shows
+progress on disk and never holds every row twice.
+
+**Resume cache.**  With ``resume_dir`` set, each finished case is also
+written to a per-case JSON keyed by ``(spec digest, app key, scheme,
+seed)``; re-running a partially finished sweep only simulates the
+missing cases and merges cached rows back in matrix order.  Because
+every case is deterministic in that key, a resumed artifact is
+byte-identical to a fresh one.
+
+Results stay bit-identical to a serial run at any ``jobs`` level, fresh
+or resumed — guarded by the golden-hash suite in ``tests/perf/``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+import re
+import sys
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Tuple
+
+from repro.apps.registry import AppRef, get_app
+from repro.scenarios.runner import (
+    COMPACT_THRESHOLD,
+    case_to_dict,
+    run_case,
+    scheme_factory,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+#: Executor observability (monotone counters; tests and the perf suite
+#: read these — nothing here ever reaches an artifact).
+stats: Dict[str, int] = {
+    "pool_creates": 0,
+    "pool_reuses": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
+    "cases_run": 0,
+}
+
+
+_code_token_cache: Optional[str] = None
+
+
+def _code_token(root: Optional[str] = None) -> str:
+    """Best-effort identity of the simulator *code*: a digest over every
+    package source file's (path, size, mtime).
+
+    Folded into :func:`spec_digest` so a persistent resume cache can
+    never silently merge rows simulated by different code into one
+    "fresh" artifact.  Stat-hashing the tree (~a millisecond) catches
+    what a git-HEAD token cannot: uncommitted edits, checkouts with
+    packed refs, and pip-installed upgrades.  Over-invalidation (a
+    `touch` with no content change) just costs a re-simulation.
+    """
+    global _code_token_cache
+    if root is None and _code_token_cache is not None:
+        return _code_token_cache
+    scan_root = root or os.path.dirname(  # src/repro/scenarios/ -> src/repro
+        os.path.dirname(os.path.abspath(__file__)))
+    h = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(scan_root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            rel = os.path.relpath(path, scan_root)
+            h.update(f"{rel}:{st.st_size}:{st.st_mtime_ns}\n".encode("utf-8"))
+    token = h.hexdigest()[:16]
+    if root is None:
+        _code_token_cache = token
+    return token
+
+
+def spec_digest(spec: ScenarioSpec) -> str:
+    """Stable content digest of a spec + the code that interprets it
+    (the resume-cache namespace and warm-pool key)."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    payload = canonical + "\n" + _code_token()
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# -- worker side --------------------------------------------------------------
+#: The spec this worker process executes; installed once by the pool
+#: initializer instead of being pickled into every case payload.
+_WORKER_SPEC: Optional[ScenarioSpec] = None
+
+
+def _init_worker(spec_dict: Dict[str, Any]) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = ScenarioSpec.from_dict(spec_dict)
+
+
+def _case_worker(payload: Tuple[AppRef, str, int]) -> Dict[str, Any]:
+    app, scheme, seed = payload
+    return case_to_dict(run_case(_WORKER_SPEC, app, scheme, seed))
+
+
+# -- warm pool ----------------------------------------------------------------
+def _start_method() -> str:
+    """Preferred multiprocessing start method for this platform.
+
+    ``fork`` is cheapest and inherits the parent's warm import/render
+    caches, but it is only trusted on Linux: macOS lists it as
+    available, yet forking after the ObjC/Accelerate runtime has
+    spawned threads (numpy does) can abort workers — the reason CPython
+    made ``spawn`` the darwin default.  Elsewhere ``forkserver`` is the
+    safe fast option and ``spawn`` always exists.  Override with
+    ``REPRO_MP_START``.
+    """
+    override = os.environ.get("REPRO_MP_START")
+    available = multiprocessing.get_all_start_methods()
+    if override:
+        if override not in available:
+            raise ValueError(
+                f"REPRO_MP_START={override!r} not in {available}"
+            )
+        return override
+    preferred = ("fork", "forkserver", "spawn") if sys.platform.startswith(
+        "linux") else ("forkserver", "spawn")
+    for method in preferred:
+        if method in available:
+            return method
+    return "spawn"  # pragma: no cover - every platform has spawn
+
+
+_pool = None
+_pool_key: Optional[Tuple[int, str, str]] = None
+
+
+def _warm_pool(n_procs: int, spec: ScenarioSpec, digest: str):
+    """A worker pool primed with ``spec``, reused while it fits.
+
+    A pool with *more* workers than requested is still a hit — resuming
+    a mostly-cached sweep (few missing cases) must not tear down the
+    warm pool the full sweep built.
+    """
+    global _pool, _pool_key
+    method = _start_method()
+    key = (n_procs, digest, method)
+    if _pool is not None and _pool_key is not None:
+        have_procs, have_digest, have_method = _pool_key
+        if (have_digest, have_method) == (digest, method) and have_procs >= n_procs:
+            stats["pool_reuses"] += 1
+            return _pool
+    shutdown_pool()
+    ctx = multiprocessing.get_context(method)
+    _pool = ctx.Pool(n_procs, initializer=_init_worker, initargs=(spec.to_dict(),))
+    _pool_key = key
+    stats["pool_creates"] += 1
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear the warm pool down (idempotent; registered atexit)."""
+    global _pool, _pool_key
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+    _pool = None
+    _pool_key = None
+
+
+atexit.register(shutdown_pool)
+
+
+def _chunksize(n_tasks: int, n_procs: int) -> int:
+    """imap chunking: ~4 chunks per worker balances dispatch overhead
+    against tail latency from uneven case costs."""
+    return max(1, math.ceil(n_tasks / (n_procs * 4)))
+
+
+# -- resume cache -------------------------------------------------------------
+_UNSAFE = re.compile(r"[^A-Za-z0-9._=\[\],+-]")
+
+
+class CaseCache:
+    """One JSON file per finished case, keyed by the sweep's identity.
+
+    The file name is ``<spec digest>/<app key>__<scheme>__<seed>-<key
+    hash>.json`` — the readable part is sanitized for the filesystem,
+    and the short content hash of the *unsanitized* key makes two
+    distinct cases that sanitize alike impossible to collide.  Rows are
+    written atomically (tmp + rename) so a killed sweep never leaves a
+    torn row behind.  Unreadable entries count as misses.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def path(self, digest: str, app_key: str, scheme: str, seed: int) -> str:
+        raw = f"{app_key}__{scheme}__{seed}"
+        tag = hashlib.blake2b(raw.encode("utf-8"), digest_size=6).hexdigest()
+        name = f"{_UNSAFE.sub('_', raw)}-{tag}.json"
+        return os.path.join(self.root, digest, name)
+
+    def get(self, digest: str, app_key: str, scheme: str, seed: int) -> Optional[Dict]:
+        try:
+            with open(self.path(digest, app_key, scheme, seed), encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, digest: str, app_key: str, scheme: str, seed: int, row: Dict) -> None:
+        path = self.path(digest, app_key, scheme, seed)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+
+
+# -- streaming artifact writer ------------------------------------------------
+class StreamingSweepWriter:
+    """Incremental sweep-artifact writer, byte-identical to
+    :func:`~repro.scenarios.runner.dumps_result` plus trailing newline.
+
+    The canonical layouts put ``"cases"`` first (sorted keys), so rows
+    can stream to disk as they finish; the envelope tail (``n_cases``,
+    ``scenario``, ``spec``) lands in :meth:`finish`.
+    """
+
+    def __init__(self, path: str, compact: bool) -> None:
+        dirname = os.path.dirname(path)
+        if dirname:
+            os.makedirs(dirname, exist_ok=True)
+        self.compact = compact
+        self._rows = 0
+        # Stream into a sidecar and promote atomically on finish: a
+        # failed sweep must never destroy a previously complete
+        # artifact at the same path (progress is visible in the .tmp).
+        self._path = path
+        self._tmp = path + ".tmp"
+        self._fh: TextIO = open(self._tmp, "w", encoding="utf-8")
+
+    def write_row(self, row: Dict[str, Any]) -> None:
+        """Append one case row (called in matrix order)."""
+        if self.compact:
+            head = '{"cases":[' if self._rows == 0 else ","
+            self._fh.write(head + json.dumps(row, sort_keys=True, separators=(",", ":")))
+        else:
+            head = '{\n  "cases": [\n' if self._rows == 0 else ",\n"
+            dumped = json.dumps(row, sort_keys=True, indent=2)
+            body = "\n".join("    " + line for line in dumped.splitlines())
+            self._fh.write(head + body)
+        self._rows += 1
+
+    def finish(self, scenario: str, spec_dict: Dict[str, Any], n_cases: int) -> None:
+        """Write the envelope tail and close the file."""
+        if self.compact:
+            head = '{"cases":[' if self._rows == 0 else ""
+            spec_json = json.dumps(spec_dict, sort_keys=True, separators=(",", ":"))
+            self._fh.write(
+                f'{head}],"n_cases":{n_cases},'
+                f'"scenario":{json.dumps(scenario)},"spec":{spec_json}}}\n'
+            )
+        else:
+            # json.dumps renders an empty list inline ("cases": []) but a
+            # populated one across lines — match both shapes exactly.
+            head = '{\n  "cases": []' if self._rows == 0 else "\n  ]"
+            lines = json.dumps(spec_dict, sort_keys=True, indent=2).splitlines()
+            spec_json = "\n".join([lines[0]] + ["  " + line for line in lines[1:]])
+            self._fh.write(
+                f'{head},\n  "n_cases": {n_cases},\n'
+                f'  "scenario": {json.dumps(scenario)},\n'
+                f'  "spec": {spec_json}\n}}\n'
+            )
+        self._fh.close()
+        os.replace(self._tmp, self._path)
+
+    def abort(self) -> None:
+        """Discard the stream (error path); any artifact already at the
+        target path survives untouched."""
+        if not self._fh.closed:
+            self._fh.close()
+        try:
+            os.unlink(self._tmp)
+        except OSError:
+            pass
+
+
+# -- the sweep ----------------------------------------------------------------
+def run_sweep(
+    spec: ScenarioSpec,
+    jobs: int = 1,
+    out_path: Optional[str] = None,
+    compact: Optional[bool] = None,
+    resume_dir: Optional[str] = None,
+    max_cases: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run a scenario's matrix, optionally in parallel, resumably.
+
+    ``jobs > 1`` fans missing cases out over the warm process pool; the
+    aggregated result is byte-identical to a serial run (case order
+    follows the matrix, each case is deterministic in (spec, app,
+    scheme, seed)).  ``resume_dir`` enables the case-level resume cache:
+    rows already finished by an earlier run of the same spec are loaded
+    instead of re-simulated, and fresh rows are persisted as they
+    complete.  ``max_cases`` truncates the matrix (a partial sweep —
+    with a resume cache this is the "kill half-way" half of a resumable
+    run).  With ``out_path`` the artifact streams to disk row by row;
+    ``compact`` picks the layout (None = automatic by sweep size, see
+    :func:`~repro.scenarios.runner.dumps_result`).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if max_cases is not None and max_cases < 1:
+        raise ValueError("max_cases must be >= 1")
+    # Fail fast on a bad matrix axis (typo'd app/scheme, ill-typed
+    # params) before any case burns simulation time.
+    for app in spec.matrix.apps:
+        get_app(app.name).make_params(app.params)
+    for scheme in spec.matrix.schemes:
+        scheme_factory(scheme, spec.checkpoint_period_s)
+    cases = list(spec.matrix.cases())
+    if max_cases is not None:
+        cases = cases[:max_cases]
+
+    digest = spec_digest(spec)
+    cache = CaseCache(resume_dir) if resume_dir else None
+    cached: Dict[int, Dict[str, Any]] = {}
+    if cache is not None:
+        for i, (app, scheme, seed) in enumerate(cases):
+            row = cache.get(digest, app.key, scheme, seed)
+            if row is not None:
+                cached[i] = row
+        stats["cache_hits"] += len(cached)
+        stats["cache_misses"] += len(cases) - len(cached)
+    missing = [(i, case) for i, case in enumerate(cases) if i not in cached]
+
+    if compact is None:
+        compact = len(cases) >= COMPACT_THRESHOLD
+    writer = StreamingSweepWriter(out_path, compact) if out_path else None
+
+    parallel = jobs > 1 and len(missing) > 1
+
+    def _fresh() -> Iterator[Dict[str, Any]]:
+        """Missing-case rows in matrix order (imap preserves it)."""
+        if parallel:
+            n_procs = min(jobs, len(missing))
+            pool = _warm_pool(n_procs, spec, digest)
+            payloads = [case for _i, case in missing]
+            yield from pool.imap(
+                _case_worker, payloads, chunksize=_chunksize(len(payloads), n_procs)
+            )
+        else:
+            for _i, (app, scheme, seed) in missing:
+                yield case_to_dict(run_case(spec, app, scheme, seed))
+
+    rows: List[Dict[str, Any]] = []
+    fresh = _fresh()
+    try:
+        for i, (app, scheme, seed) in enumerate(cases):
+            row = cached.get(i)
+            if row is None:
+                row = next(fresh)
+                stats["cases_run"] += 1
+                if cache is not None:
+                    cache.put(digest, app.key, scheme, seed, row)
+            rows.append(row)
+            if writer is not None:
+                writer.write_row(row)
+        if writer is not None:
+            writer.finish(spec.name, spec.to_dict(), len(rows))
+    except BaseException:
+        if writer is not None:
+            writer.abort()
+        if parallel:
+            # The abandoned imap leaves queued chunks (or dead workers)
+            # behind; a reused pool would hang or lag the next sweep.
+            shutdown_pool()
+        raise
+    return {
+        "scenario": spec.name,
+        "spec": spec.to_dict(),
+        "n_cases": len(rows),
+        "cases": rows,
+    }

@@ -1,24 +1,21 @@
-"""Scenario execution: single cases and parallel matrix sweeps.
+"""Scenario execution: single cases and canonical serialization.
 
 A scenario's matrix (app × scheme × seed) expands into independent
 cases.  Each case builds a fresh :class:`MobiStreamsSystem` seeded via
 :class:`~repro.sim.rng.RngRegistry`, arms the scenario's event script,
 runs it, and reduces the trace to a JSON-ready metrics dict.  Cases
-share nothing, so the sweep executor fans them out over a
-``multiprocessing`` pool (near-linear speedup) while keeping the output
-bit-identical to a serial run: results are collected in matrix order
-(``pool.map`` preserves it) and every case is deterministic in
-(spec, app, scheme, seed).
+share nothing and are deterministic in (spec, app, scheme, seed) —
+which is what lets :mod:`repro.scenarios.executor` fan them out over a
+warm ``multiprocessing`` pool, resume partial sweeps from a case cache,
+and stream artifacts, all while staying bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import json
 import math
-import multiprocessing
-import os
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.apps.registry import AppRef, AppRefLike, create_app, get_app
 from repro.baselines import (
@@ -177,63 +174,19 @@ def case_to_dict(result: CaseResult) -> Dict[str, Any]:
     }
 
 
-def _sweep_worker(payload: Tuple[Dict[str, Any], AppRef, str, int]) -> Dict[str, Any]:
-    """Pool worker: rebuild the spec from its dict form, run one case."""
-    spec_dict, app, scheme, seed = payload
-    spec = ScenarioSpec.from_dict(spec_dict)
-    return case_to_dict(run_case(spec, app, scheme, seed))
-
-
 #: Sweeps at or above this many cases default to compact JSON: pretty-
 #: printing a huge artifact burns real time and disk for no reader.
 COMPACT_THRESHOLD = 100
 
 
-def run_sweep(
-    spec: ScenarioSpec,
-    jobs: int = 1,
-    out_path: Optional[str] = None,
-    compact: Optional[bool] = None,
-) -> Dict[str, Any]:
-    """Run a scenario's whole matrix, optionally in parallel.
+def run_sweep(spec: ScenarioSpec, *args, **kwargs) -> Dict[str, Any]:
+    """Back-compat shim: the sweep machinery lives in
+    :func:`repro.scenarios.executor.run_sweep` now (warm pool, resume
+    cache, streaming artifacts); this keeps historical
+    ``runner.run_sweep`` imports working."""
+    from repro.scenarios.executor import run_sweep as _run_sweep
 
-    ``jobs > 1`` fans the cases out over a process pool; the aggregated
-    result is byte-identical to a serial run (case order follows the
-    matrix, each case is independently seeded and deterministic).  With
-    ``out_path`` the result is also written as canonical JSON;
-    ``compact`` picks the layout (None = automatic by sweep size, see
-    :func:`dumps_result`).
-    """
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    # Fail fast on a bad matrix axis (typo'd app/scheme, ill-typed
-    # params) before any case burns simulation time.
-    for app in spec.matrix.apps:
-        get_app(app.name).make_params(app.params)
-    for scheme in spec.matrix.schemes:
-        scheme_factory(scheme, spec.checkpoint_period_s)
-    cases = list(spec.matrix.cases())
-    if jobs > 1 and len(cases) > 1:
-        payloads = [(spec.to_dict(), app, scheme, seed) for app, scheme, seed in cases]
-        with multiprocessing.Pool(min(jobs, len(cases))) as pool:
-            rows = pool.map(_sweep_worker, payloads)
-    else:
-        rows = [case_to_dict(run_case(spec, app, scheme, seed))
-                for app, scheme, seed in cases]
-    result = {
-        "scenario": spec.name,
-        "spec": spec.to_dict(),
-        "n_cases": len(rows),
-        "cases": rows,
-    }
-    if out_path:
-        dirname = os.path.dirname(out_path)
-        if dirname:
-            os.makedirs(dirname, exist_ok=True)
-        with open(out_path, "w", encoding="utf-8") as fh:
-            fh.write(dumps_result(result, compact=compact))
-            fh.write("\n")
-    return result
+    return _run_sweep(spec, *args, **kwargs)
 
 
 def dumps_result(result: Dict[str, Any], compact: Optional[bool] = None) -> str:

@@ -51,6 +51,23 @@ def test_state_for_missing():
     assert st.state_for(5, frozenset({"X"})) is None
 
 
+def test_states_at_mrc_is_a_read_only_view():
+    """Every recovery used to pay a fresh dict; callers only iterate and
+    ``.get``, so the store hands out a live read-only view instead."""
+    st = CheckpointStore()
+    before = st.states_at_mrc()
+    with pytest.raises(TypeError):
+        before[frozenset({"X"})] = ("oops", 1)
+    st.begin_version(1, ["n0"])
+    st.put(1, "n0", frozenset({"A"}), "s1", 10)
+    view = st.states_at_mrc()
+    with pytest.raises(TypeError):
+        view[frozenset({"A"})] = ("mutated", 1)
+    # It is a *view* of the stored version, not a snapshot copy.
+    st.put(1, "n0", frozenset({"A2"}), "s1b", 12)
+    assert frozenset({"A2"}) in view
+
+
 # -- PreservationStore -----------------------------------------------------
 def test_record_and_replay():
     ps = PreservationStore()
@@ -99,3 +116,34 @@ def test_multiple_sources_interleaved():
     ps.record("S1", tup(seq=1))
     ops = [op for op, _t in ps.replay_from(0)]
     assert ops == ["S0", "S1"]
+
+
+def test_replay_walks_segments_without_sorting():
+    """Regression for the per-recovery re-sort: segment keys are created
+    monotonically, so the store's insertion order *is* version order —
+    replay must stay correct across completes, new cuts, and empty
+    segments, while the internal dict stays sorted."""
+    ps = PreservationStore()
+    ps.record("S", tup(seq=0))          # segment 0
+    ps.start_segment(1)
+    ps.record("S", tup(seq=1))
+    ps.start_segment(2)                  # cut with no input yet
+    ps.start_segment(4)                  # skipped version (abandoned wave)
+    ps.record("S", tup(seq=2))
+    ps.on_checkpoint_complete(1)         # drops segment 0 only
+    ps.record("S", tup(seq=3))
+    assert list(ps._segments) == sorted(ps._segments)
+    assert [t.source_seq for _op, t in ps.replay_from(0)] == [1, 2, 3]
+    assert [t.source_seq for _op, t in ps.replay_from(2)] == [2, 3]
+    assert ps.replay_from(5) == []
+    ps.on_checkpoint_complete(4)
+    assert ps.total_bytes == sum(t.size for _op, t in ps.replay_from(0))
+    assert [t.source_seq for _op, t in ps.replay_from(0)] == [2, 3]
+
+
+def test_record_reuses_tuples_by_reference():
+    """Preservation shares tuples, never copies payload bytes."""
+    ps = PreservationStore()
+    t = tup(seq=7)
+    ps.record("S", t)
+    assert ps.replay_from(0)[0][1] is t

@@ -22,9 +22,11 @@ from repro import scenarios
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_hashes.json")
 
-#: Scenarios covered by the guard: the paper's headline sweep plus a
-#: failure-heavy one (recovery, replay, and broadcast paths all firing).
-GUARDED = ("paper-fig8", "failure-cascade")
+#: Scenarios covered by the guard: the paper's headline sweep, a
+#: failure-heavy one (recovery, replay, and broadcast paths all firing),
+#: and the state-heavy EdgeML workload (multi-MB copy-on-write
+#: snapshots moving through checkpoint + restore).
+GUARDED = ("paper-fig8", "failure-cascade", "edgeml-baseline")
 
 
 def _artifact_sha256(name: str) -> str:

@@ -16,7 +16,7 @@ from repro.perf.suites import SUITES, run_suite, suite_names
 def test_expected_suites_registered():
     names = suite_names()
     for expected in ("sim_kernel", "monitor", "wifi_broadcast", "checkpoint",
-                     "scenarios"):
+                     "scenarios", "sweep_throughput"):
         assert expected in names
 
 
@@ -35,6 +35,57 @@ def test_run_microbench_suites_quick():
             assert metrics["wall_s"] > 0, f"{suite}/{case} measured no time"
             if "events" in metrics:
                 assert metrics["events"] > 0
+
+
+def test_sweep_throughput_suite_covers_the_executor_features():
+    names = [name for name, _factory in SUITES["sweep_throughput"]]
+    for expected in ("fig8-mini/serial", "fig8-mini/warm-pool",
+                     "fig8-mini/resume-hit", "stream-writer/rows"):
+        assert expected in names
+
+
+def test_run_sweep_throughput_quick():
+    results = run_suite("sweep_throughput", quick=True)
+    for case, metrics in results.items():
+        assert metrics["wall_s"] >= 0, f"{case} measured negative time"
+    assert results["stream-writer/rows"]["rows_per_s"] > 0
+    # A fully-cached resume must be far cheaper than simulating.
+    assert (results["fig8-mini/resume-hit"]["wall_s"]
+            < results["fig8-mini/serial"]["wall_s"])
+
+
+def test_checkpoint_suite_gauges_peak_memory():
+    results = run_suite("checkpoint", quick=True)
+    mem = results["edgeml_snapshot_memory"]
+    assert mem["peak_kb"] > 0
+    assert mem["versions"] > 0
+
+
+def test_cow_snapshots_cut_checkpoint_peak_memory_at_least_2x():
+    """The acceptance bar, measured live: the same checkpoint rounds in
+    eager-copy (pre-PR) mode must peak at >= 2x the CoW memory."""
+    from repro.checkpoint import snapshots
+
+    factory = dict(SUITES["checkpoint"])["edgeml_snapshot_memory"]
+    case = factory(True)
+    cow_peak = case()["peak_kb"]
+    old = snapshots.configure("eager")
+    try:
+        eager_peak = case()["peak_kb"]
+    finally:
+        snapshots.configure(old)
+    assert eager_peak >= 2 * cow_peak
+
+
+def test_committed_pre_pr_baseline_records_the_memory_drop():
+    """The committed artifacts must show the >= 2x drop the PR claims."""
+    root = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "benchmarks", "baselines")
+    with open(os.path.join(root, "BENCH_checkpoint.json")) as fh:
+        cow = json.load(fh)["results"]["edgeml_snapshot_memory"]["peak_kb"]
+    with open(os.path.join(root, "pre_pr", "BENCH_checkpoint.json")) as fh:
+        eager = json.load(fh)["results"]["edgeml_snapshot_memory"]["peak_kb"]
+    assert eager >= 2 * cow
 
 
 def test_unknown_suite_raises():
