@@ -16,6 +16,7 @@ import os
 
 from repro import scenarios
 from repro.apps import EdgeMLParams, create_app
+from repro.results import ResultSet
 from repro.scenarios.spec import MatrixSpec, ScenarioSpec
 
 
@@ -53,15 +54,14 @@ def main() -> None:
 
     # -- 3. sweep the split depths in parallel -------------------------------
     jobs = min(4, os.cpu_count() or 1)
-    result = scenarios.run_sweep(spec, jobs=jobs)
-    print(f"\nsweep of {result['n_cases']} cases (jobs={jobs}):")
+    rs = ResultSet.from_sweep(scenarios.run_sweep(spec, jobs=jobs))
+    print(f"\nsweep of {len(rs)} cases (jobs={jobs}):")
     print(f"{'app':<22s} {'tput t/s':<9s} {'e2e lat s':<10s} {'ft KB'}")
-    for case in result["cases"]:
-        region0 = case["regions"]["region0"]
-        lat = case["end_to_end_latency_s"]
-        print(f"{case['app']:<22s} {region0['throughput_tps']:<9.3f} "
+    for case in rs:
+        lat = case.end_to_end_latency_s
+        print(f"{case.app:<22s} {case.throughput:<9.3f} "
               f"{lat if lat is None else round(lat, 1)!s:<10s} "
-              f"{case['ft_network_bytes'] / 1024:.0f}")
+              f"{case.ft_network_bytes / 1024:.0f}")
     print("\ndeeper splits spread the weight state over more phones; the")
     print("checkpoint bytes each scheme must move follow the split point.")
 

@@ -17,6 +17,7 @@ Shows the three layers of the scenario subsystem:
 import os
 
 from repro import scenarios
+from repro.results import ResultSet
 from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
 
 
@@ -44,19 +45,24 @@ def main() -> None:
     print(f"\ncustom scenario {spec.name!r} round-trips through JSON: "
           f"{scenarios.ScenarioSpec.from_json(spec.to_json()) == spec}")
 
-    # -- 3. sweep the matrix in parallel -------------------------------------
+    # -- 3. sweep the matrix in parallel, query it typed ---------------------
     jobs = min(4, os.cpu_count() or 1)
-    result = scenarios.run_sweep(spec, jobs=jobs)
-    print(f"\nsweep of {result['n_cases']} cases (jobs={jobs}):")
+    rs = ResultSet.from_sweep(scenarios.run_sweep(spec, jobs=jobs))
+    print(f"\nsweep of {len(rs)} cases (jobs={jobs}):")
     print(f"{'scheme':<8s} {'seed':<5s} {'tput t/s':<9s} {'recoveries'}")
-    for case in result["cases"]:
-        region0 = case["regions"]["region0"]
-        print(f"{case['scheme']:<8s} {case['seed']:<5d} "
-              f"{region0['throughput_tps']:<9.3f} {case['recoveries']}")
+    for case in rs:
+        print(f"{case.scheme:<8s} {case.seed:<5d} "
+              f"{case.throughput:<9.3f} {case.recoveries}")
 
-    ms = [c for c in result["cases"] if c["scheme"] == "ms-8"]
-    assert all(c["recoveries"] >= 1 for c in ms), "ms-8 must have recovered"
-    print("\nms-8 recovered from the burst in every seed; sweep artifacts are")
+    # The results API answers the paper-style questions directly: mean
+    # cross-seed throughput per scheme, normalized to the base system.
+    rel = rs.relative_to("base", metrics=("throughput", "latency"))
+    print(f"\nms-8 vs base: {rel['ms-8']['throughput']:.0%} throughput, "
+          f"{rel['ms-8']['latency']:.2f}x latency under the surge+crash mix")
+
+    ms = rs.filter(scheme="ms-8")
+    assert all(c.recoveries >= 1 for c in ms), "ms-8 must have recovered"
+    print("ms-8 recovered from the burst in every seed; sweep artifacts are")
     print("byte-identical at any --jobs level.")
 
 

@@ -253,18 +253,18 @@ def sweep_checkpoint_period(
     """
     rows = []
     for period in periods_s:
-        out = run_experiment(ExperimentConfig(
+        case = run_experiment(ExperimentConfig(
             app=app_name, scheme="ms-8", duration_s=duration_s,
             warmup_s=duration_s / 6.0, seed=seed, idle_per_region=4,
             checkpoint_period_s=period, crash=(crash_at, [3]),
-        ))
+        )).case
         rows.append({
             "period_s": period,
-            "throughput": out.throughput,
-            "latency_s": out.latency,
-            "preserved_bytes": out.report.preserved_bytes,
-            "ft_network_bytes": out.report.ft_network_bytes,
-            "recoveries": out.recoveries,
+            "throughput": case.throughput,
+            "latency_s": case.latency_s,
+            "preserved_bytes": case.preserved_bytes,
+            "ft_network_bytes": case.ft_network_bytes,
+            "recoveries": case.recoveries,
         })
     return rows
 

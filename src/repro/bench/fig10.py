@@ -14,6 +14,7 @@ from typing import Dict, List
 
 from repro.bench.fig8 import SCHEME_ORDER, run_fig8
 from repro.bench.harness import format_table
+from repro.results import ResultSet
 
 #: Paper values normalized to ms = 1.
 PAPER_PRESERVATION = {
@@ -35,16 +36,21 @@ def run_fig10(app_name: str, duration_s: float = 1200.0,
     """Relative preserved/ft-network bytes per scheme (ms-8 = 1)."""
     outcomes = run_fig8(app_name, duration_s,
                         checkpoint_period_s=checkpoint_period_s)
-    ms = outcomes["ms-8"].report
-    ms_pres = max(ms.preserved_bytes, 1.0)
-    ms_net = max(ms.ft_network_bytes, 1.0)
+    rs = ResultSet.from_cases(
+        o.case.replace(scheme=label) for label, o in outcomes.items()
+    )
+    # The paper's Fig. 10 normalizer: ms-8 = 1, with the denominator
+    # floored at one byte so an all-zero baseline stays finite.
+    rel = rs.relative_to("ms-8", axis="scheme",
+                         metrics=("preserved_bytes", "ft_network_bytes"),
+                         floor=1.0)
     out: Dict[str, Dict[str, float]] = {}
     for label, o in outcomes.items():
         out[label] = {
-            "preservation": o.report.preserved_bytes / ms_pres,
-            "ckpt_network": o.report.ft_network_bytes / ms_net,
-            "preserved_bytes": o.report.preserved_bytes,
-            "ft_network_bytes": o.report.ft_network_bytes,
+            "preservation": rel[label]["preserved_bytes"],
+            "ckpt_network": rel[label]["ft_network_bytes"],
+            "preserved_bytes": o.case.preserved_bytes,
+            "ft_network_bytes": o.case.ft_network_bytes,
         }
     return out
 

@@ -9,7 +9,6 @@ monotonically with n.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.bench.harness import (
@@ -19,6 +18,7 @@ from repro.bench.harness import (
     run_experiment,
     scheme_factories,
 )
+from repro.results import ResultSet
 
 #: Paper's relative latency bars (base = 1.0). Throughput bars are OCR-
 #: ambiguous in our source; the target ordering is
@@ -48,15 +48,17 @@ def run_fig8(app_name: str, duration_s: float = 1200.0,
 
 
 def relative(outcomes: Dict[str, ExperimentOutcome]) -> Dict[str, Dict[str, float]]:
-    """Normalize to base, as the figure does."""
-    base = outcomes["base"]
-    return {
-        label: {
-            "throughput": o.throughput / base.throughput if base.throughput else 0.0,
-            "latency": o.latency / base.latency if base.latency else 0.0,
-        }
-        for label, o in outcomes.items()
-    }
+    """Normalize to base, as the figure does (via the results API).
+
+    The outcome labels become the comparison axis — normally they *are*
+    the scheme names, but any labelling works (the cases are re-keyed),
+    so ad-hoc comparisons can normalize against whatever they like.
+    """
+    rs = ResultSet.from_cases(
+        o.case.replace(scheme=label) for label, o in outcomes.items()
+    )
+    return rs.relative_to("base", axis="scheme",
+                          metrics=("throughput", "latency"))
 
 
 def report(duration_s: float = 1200.0) -> str:

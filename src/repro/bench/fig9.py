@@ -37,8 +37,8 @@ def run_fig9_point(
         crash=(fault_time, idxs) if (mode == "fail" and n) else None,
         depart=(fault_time, idxs) if (mode == "depart" and n) else None,
     )
-    out = run_experiment(cfg)
-    return out.throughput, out.latency, not out.region_stopped
+    case = run_experiment(cfg).case
+    return case.throughput, case.latency_s, not case.stopped
 
 
 def run_fig9(app_name: str, duration_s: float = 900.0,

@@ -11,17 +11,20 @@ in the runner and are re-exported here for compatibility.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Tuple, Union
 
 from repro.apps.registry import AppRef, AppRefLike
 from repro.core.metrics import MetricsReport
+from repro.results.model import CaseResult
 from repro.scenarios.runner import (  # noqa: F401  (compat re-exports)
     app_factory,
+    case_to_type,
     run_case,
     scheme_factories,
     scheme_factory,
 )
 from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
+from repro.util.tables import format_table  # noqa: F401  (compat re-export)
 
 #: One timed fault: (time, [phone indices]).
 FaultTuple = Tuple[float, List[int]]
@@ -100,22 +103,29 @@ class ExperimentConfig:
 
 @dataclass
 class ExperimentOutcome:
-    """Metrics plus run context."""
+    """Metrics plus run context.
+
+    ``case`` is the artifact-typed :class:`repro.results.CaseResult` —
+    the same row a sweep would write for this run — so outcomes plug
+    straight into :class:`repro.results.ResultSet` queries; ``report``
+    keeps the live :class:`MetricsReport` for simulation-side detail.
+    """
 
     config: ExperimentConfig
     report: MetricsReport
     region_stopped: bool
     recoveries: int
+    case: CaseResult
 
     @property
     def throughput(self) -> float:
         """First-region steady throughput (tuples/s)."""
-        return self.report.per_region["region0"].throughput_tps
+        return self.case.throughput
 
     @property
     def latency(self) -> float:
         """First-region mean latency (s)."""
-        return self.report.per_region["region0"].mean_latency_s
+        return self.case.latency_s
 
 
 def run_experiment(cfg: ExperimentConfig) -> ExperimentOutcome:
@@ -126,26 +136,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentOutcome:
         report=result.report,
         region_stopped=result.region_stopped[0],
         recoveries=result.report.recoveries,
+        case=case_to_type(result),
     )
 
 
-def format_table(headers: Sequence[str], rows: List[Sequence], title: str = "") -> str:
-    """Plain-text table (paper-vs-measured reports)."""
-    cols = [[str(h)] for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            cols[i].append(cell if isinstance(cell, str) else f"{cell}")
-    widths = [max(len(c) for c in col) for col in cols]
-    lines = []
-    if title:
-        lines.append(title)
-    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
-    lines.append(header)
-    lines.append("-+-".join("-" * w for w in widths))
-    for row in rows:
-        cells = [
-            (cell if isinstance(cell, str) else str(cell)).ljust(w)
-            for cell, w in zip(row, widths)
-        ]
-        lines.append(" | ".join(cells))
-    return "\n".join(lines)

@@ -55,7 +55,7 @@ def run_server_point(app_name: str, uplink_mbps: float, duration_s: float = 900.
     )
     dsps.run(duration_s)
     m = dsps.metrics(warmup_s=warmup_s)
-    rm = m.per_region["dc"]
+    rm = m.region("dc")
     return rm.throughput_tps, rm.mean_latency_s
 
 
@@ -72,8 +72,8 @@ def run_table1(app_name: str, duration_s: float = 900.0) -> Dict[str, Tuple]:
     )
 
     base = run_experiment(ExperimentConfig(app=app_name, scheme="base",
-                                           duration_s=duration_s))
-    results["ms_ft_off"] = (base.throughput, base.latency)
+                                           duration_s=duration_s)).case
+    results["ms_ft_off"] = (base.throughput, base.latency_s)
 
     # "A phone leaves its region every five minutes" / "a phone fails
     # every five minutes": recurring faults, one per checkpoint period,
@@ -114,7 +114,7 @@ def run_ms_recurring(
         system.attach_mobility(ScriptedDepartures.periodic(fault_period_s, ids))
     system.run(duration_s)
     report = system.metrics(warmup_s=warmup_s)
-    rm = report.per_region["region0"]
+    rm = report.region("region0")
     return rm.throughput_tps, rm.mean_latency_s
 
 

@@ -17,6 +17,11 @@ Commands
 ``app``
     The application registry: ``list`` the registered apps, ``show``
     one app's operators, sources, placement, and tunable parameters.
+``report``
+    The results API over a saved sweep artifact: group, aggregate,
+    and normalize cases (``--group-by scheme --relative-to base``)
+    without re-running anything — works on streamed and resumed
+    artifacts too.
 ``perf``
     The performance subsystem: ``run`` the benchmark suites into
     ``BENCH_<suite>.json`` artifacts, ``compare`` a run against the
@@ -37,6 +42,8 @@ Examples
     python -m repro scenario run paper-fig8 --quick
     python -m repro scenario sweep flash-crowd --jobs 4 --out sweep.json
     python -m repro scenario sweep paper-fig8 --jobs 4 --resume --out sweep.json
+    python -m repro report sweep.json --group-by scheme --relative-to base
+    python -m repro report sweep.json --metrics throughput,latency --format md
     python -m repro app list
     python -m repro app show edgeml
     python -m repro perf run --quick
@@ -54,6 +61,7 @@ from repro.apps import registry as app_registry
 from repro.bench.fig8 import PAPER_LATENCY, SCHEME_ORDER
 from repro.bench.harness import ExperimentConfig, run_experiment, scheme_factories
 from repro.bench.table1 import PAPER as TABLE1_PAPER
+from repro.results import ResultSet, build_report
 
 APPS = tuple(app_registry.app_names())
 
@@ -140,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-cases", type=int, default=None, metavar="N",
                        help="stop after the first N matrix cases (partial "
                             "sweep; pairs with --resume to test resumption)")
+
+    rep_p = sub.add_parser(
+        "report", help="analyze a saved sweep artifact (no re-running)")
+    rep_p.add_argument("artifact", help="sweep artifact JSON file")
+    rep_p.add_argument("--group-by", default=None, metavar="AXIS",
+                       help="case axis (scenario/app/scheme/seed) or a "
+                            "comma list; default: whichever axis varies")
+    rep_p.add_argument("--relative-to", default=None, metavar="KEY",
+                       help="normalize every metric to this group "
+                            "(e.g. the 'base' scheme)")
+    rep_p.add_argument("--metrics", default=None, metavar="M1,M2",
+                       help="comma-separated metric list (default: the "
+                            "paper's headline metrics)")
+    rep_p.add_argument("--stat", default="mean",
+                       choices=["mean", "median", "min", "max", "p95",
+                                "std", "sum", "count"],
+                       help="aggregation across each group (default mean)")
+    rep_p.add_argument("--ci", action="store_true",
+                       help="add the 95%% normal-approximation CI of the "
+                            "mean (cross-seed error bars)")
+    rep_p.add_argument("--filter", action="append", default=None,
+                       metavar="AXIS=VALUE",
+                       help="keep only matching cases, e.g. app=bcp "
+                            "(repeatable)")
+    rep_p.add_argument("--format", dest="fmt", default="table",
+                       choices=["table", "json", "md"],
+                       help="output format (default table)")
 
     app_p = sub.add_parser("app", help="application registry commands")
     app_sub = app_p.add_subparsers(dest="app_command", required=True)
@@ -269,31 +304,29 @@ def cmd_scenario(args) -> int:
         hits = executor.stats["cache_hits"] - hits_before
         print(f"resume cache: {hits}/{result['n_cases']} case(s) reused "
               f"from {resume_dir}", file=sys.stderr)
+    rs = ResultSet.from_sweep(result)
     if args.scenario_command == "sweep" and args.out:
-        print(f"{result['n_cases']} cases -> {args.out}")
+        print(f"{len(rs)} cases -> {args.out}")
         return 0
     if args.scenario_command == "sweep":
-        print(scenarios.dumps_result(result, compact=compact))
+        print(rs.to_json(compact=compact))
         return 0
     rows = []
-    stopped_any = False
-    for case in result["cases"]:
-        first = next(iter(case["regions"].values()))
-        stopped = any(r["stopped"] for r in case["regions"].values())
-        stopped_any = stopped_any or stopped
-        lat = case["end_to_end_latency_s"]
+    for case in rs:
+        first = case.first_region
+        lat = case.end_to_end_latency_s
         rows.append([
-            case["app"], case["scheme"], case["seed"],
-            f"{first['throughput_tps']:.3f}" if first["throughput_tps"] is not None else "-",
+            case.app, case.scheme, case.seed,
+            f"{first.throughput_tps:.3f}" if first.throughput_tps is not None else "-",
             f"{lat:.1f}" if lat is not None else "-",
-            case["recoveries"], case["departures_handled"],
-            "STOPPED" if stopped else "ok",
+            case.recoveries, case.departures_handled,
+            "STOPPED" if case.stopped else "ok",
         ])
     print(format_table(
         ["app", "scheme", "seed", "tput t/s", "e2e lat s",
          "recoveries", "departures", "outcome"],
-        rows, title=f"scenario {spec.name} — {result['n_cases']} cases"))
-    return 1 if stopped_any else 0
+        rows, title=f"scenario {spec.name} — {len(rs)} cases"))
+    return 1 if any(case.stopped for case in rs) else 0
 
 
 def cmd_app(args) -> int:
@@ -351,6 +384,35 @@ def cmd_app(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    try:
+        rs = ResultSet.load(args.artifact)
+    except OSError as exc:
+        print(f"error: cannot read {args.artifact}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        for clause in args.filter or []:
+            axis, sep, value = clause.partition("=")
+            if not sep or not axis:
+                raise ValueError(
+                    f"--filter must look like AXIS=VALUE, got {clause!r}"
+                )
+            rs = rs.filter(**{axis: int(value) if axis == "seed" else value})
+        group_by = args.group_by.split(",") if args.group_by else None
+        metrics = args.metrics.split(",") if args.metrics else None
+        print(build_report(
+            rs, group_by=group_by, relative_to=args.relative_to,
+            metrics=metrics, stat=args.stat, ci=args.ci, fmt=args.fmt,
+        ))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_perf(args) -> int:
     from repro.perf import cli as perf_cli
 
@@ -391,7 +453,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     return {"run": cmd_run, "bench": cmd_bench, "scenario": cmd_scenario,
-            "app": cmd_app, "perf": cmd_perf, "info": cmd_info}[args.command](args)
+            "report": cmd_report, "app": cmd_app, "perf": cmd_perf,
+            "info": cmd_info}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

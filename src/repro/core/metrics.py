@@ -13,11 +13,10 @@ Section IV's measurement methodology, applied to the trace:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.util.stats import mean
+from repro.util.stats import mean, nearest_rank
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.monitor import Trace
@@ -57,8 +56,19 @@ class MetricsReport:
         return sum(m.throughput_tps for m in self.per_region.values())
 
     def region(self, name: str) -> RegionMetrics:
-        """Metrics of one region by name."""
-        return self.per_region[name]
+        """Metrics of one region by name.
+
+        Unknown names raise :class:`ValueError` listing the regions the
+        report actually measured — the error a typo'd region name in a
+        bench or report surfaces.
+        """
+        try:
+            return self.per_region[name]
+        except KeyError:
+            known = ", ".join(self.per_region) or "<none>"
+            raise ValueError(
+                f"unknown region {name!r}; regions in this report: {known}"
+            ) from None
 
     @property
     def end_to_end_latency_s(self) -> float:
@@ -110,10 +120,7 @@ def compute_metrics(
         latencies = by_region[name]
         count = len(latencies)
         lat_sorted = sorted(latencies)
-        # Nearest-rank percentile: the smallest value with >= 95% of the
-        # sample at or below it.
-        p95 = (lat_sorted[max(0, math.ceil(0.95 * len(lat_sorted)) - 1)]
-               if lat_sorted else float("nan"))
+        p95 = nearest_rank(lat_sorted, 0.95) if lat_sorted else float("nan")
         report.per_region[name] = RegionMetrics(
             region=name,
             output_tuples=count,

@@ -349,6 +349,7 @@ _SCENARIO_CASES = (
 def _scenario_case(scenario: str, app: str, scheme: str, seed: int):
     def factory(quick: bool) -> CaseFn:
         def run() -> Dict[str, float]:
+            from repro.results.model import CaseResult
             from repro.scenarios import EventDirector, get
             from repro.scenarios.runner import build_system
 
@@ -363,7 +364,11 @@ def _scenario_case(scenario: str, app: str, scheme: str, seed: int):
             director.schedule()
             system.run(spec.duration_s)
             wall = time.perf_counter() - t0
-            report = system.metrics(warmup_s=spec.warmup_s)
+            case = CaseResult.from_report(
+                scenario=spec.name, app=app, scheme=scheme, seed=seed,
+                report=system.metrics(warmup_s=spec.warmup_s),
+                region_stopped=[r.stopped for r in system.regions],
+            )
             ev = system.sim.events_processed
             return {
                 "wall_s": wall,
@@ -371,9 +376,7 @@ def _scenario_case(scenario: str, app: str, scheme: str, seed: int):
                 "sim_s_per_wall_s": spec.duration_s / wall if wall > 0 else 0.0,
                 "events": ev,
                 "events_per_s": _events_per_s(ev, wall),
-                "output_tuples": sum(
-                    rm.output_tuples for rm in report.per_region.values()
-                ),
+                "output_tuples": case.total_output_tuples,
             }
 
         return run

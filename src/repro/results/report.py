@@ -1,0 +1,174 @@
+"""Artifact reports: the rendering layer behind ``repro report``.
+
+:func:`build_report` turns a :class:`~repro.results.resultset.ResultSet`
+into a grouped, aggregated, optionally baseline-normalized report in
+three formats: a plain-text table (the CLI default), a Markdown pipe
+table, and a JSON document (which carries the explicit
+``schema_version`` — the artifact files themselves stay implicitly
+version 1 for byte-compatibility).
+
+The module only consumes the results API; it never touches simulation
+code, so any saved artifact — resumed, streamed, years old — can be
+analyzed without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.results.model import SCHEMA_VERSION, _nan_to_none
+from repro.results.resultset import Aggregate, ResultSet
+from repro.util.tables import format_table
+
+#: The default report columns: the paper's headline metrics.
+DEFAULT_METRICS = (
+    "throughput", "latency", "e2e_latency", "preserved_bytes",
+    "ft_network_bytes", "recoveries",
+)
+
+FORMATS = ("table", "json", "md")
+
+
+def _markdown_table(headers: Sequence[str], rows: List[Sequence],
+                    title: str = "") -> str:
+    """GitHub-flavored pipe table."""
+    lines = []
+    if title:
+        lines.extend([f"**{title}**", ""])
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt_number(value: float) -> str:
+    """Compact numeric cell; missing data prints as ``-``."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _fmt_cell(agg: Aggregate, relative: Optional[float], ci: bool) -> str:
+    """One table cell: value, optional ±CI, optional (ratio)."""
+    text = _fmt_number(agg.value)
+    if ci and agg.ci_half is not None and not math.isnan(agg.ci_half):
+        text += f" ±{_fmt_number(agg.ci_half)}"
+    if relative is not None:
+        text += (" (-)" if math.isnan(relative)
+                 else f" ({relative:.2f}x)")
+    return text
+
+
+def _default_group_by(rs: ResultSet) -> str:
+    """The axis a human most likely wants: the one that varies."""
+    if len(rs.schemes) > 1:
+        return "scheme"
+    if len(rs.apps) > 1:
+        return "app"
+    if len(rs.seeds) > 1:
+        return "seed"
+    return "scheme"
+
+
+def build_report(
+    rs: ResultSet,
+    group_by: Optional[Sequence[str]] = None,
+    relative_to: Optional[Any] = None,
+    metrics: Optional[Sequence[str]] = None,
+    stat: str = "mean",
+    ci: bool = False,
+    fmt: str = "table",
+) -> str:
+    """Render one grouped/aggregated report over ``rs``.
+
+    ``group_by`` is one or more case axes (default: whichever of
+    scheme/app/seed actually varies); ``relative_to`` names the group
+    whose aggregates normalize every metric (paper-style ratios,
+    single-axis grouping only); ``metrics`` defaults to the paper's
+    headline columns.  ``fmt`` is ``table`` (plain text), ``md``
+    (Markdown), or ``json`` (machine-readable, schema-versioned).
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; formats: {', '.join(FORMATS)}")
+    if not len(rs):
+        raise ValueError("result set is empty; nothing to report")
+    axes: Tuple[str, ...] = (
+        tuple(group_by) if group_by else (_default_group_by(rs),)
+    )
+    metric_list: Tuple[str, ...] = tuple(metrics) if metrics else DEFAULT_METRICS
+    if relative_to is not None and len(axes) != 1:
+        raise ValueError("--relative-to needs a single group-by axis")
+    if axes[0] == "seed" and isinstance(relative_to, str):
+        # CLI baselines arrive as strings; seed group keys are ints.
+        try:
+            relative_to = int(relative_to)
+        except ValueError:
+            pass  # let the group lookup raise, naming the known seeds
+
+    groups = rs.group_by(*axes)
+    aggs: Dict[Any, Dict[str, Aggregate]] = {
+        key: {m: sub.aggregate(m, stat, ci=ci) for m in metric_list}
+        for key, sub in groups.items()
+    }
+    rel: Optional[Dict[Any, Dict[str, float]]] = None
+    if relative_to is not None:
+        groups[relative_to]  # unknown baselines raise naming the groups
+        base_values = {m: aggs[relative_to][m].value for m in metric_list}
+        rel = {
+            key: {
+                m: (aggs[key][m].value / base_values[m]
+                    if base_values[m] else float("nan"))
+                for m in metric_list
+            }
+            for key in groups
+        }
+
+    if fmt == "json":
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "scenario": rs.scenario,
+            "n_cases": len(rs),
+            "group_by": list(axes),
+            "stat": stat,
+            "relative_to": relative_to,
+            "groups": [
+                {
+                    "key": list(key) if isinstance(key, tuple) else key,
+                    "n": len(groups[key]),
+                    "metrics": {
+                        m: {
+                            "value": _nan_to_none(agg.value),
+                            "n": agg.n,
+                            **({"ci_half": _nan_to_none(agg.ci_half)}
+                               if ci else {}),
+                            **({"relative": _nan_to_none(rel[key][m])}
+                               if rel is not None else {}),
+                        }
+                        for m, agg in aggs[key].items()
+                    },
+                }
+                for key in groups
+            ],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    headers = ["/".join(axes), "n"] + list(metric_list)
+    rows = []
+    for key in groups:
+        label = "/".join(str(v) for v in key) if isinstance(key, tuple) else str(key)
+        cells = [label, str(len(groups[key]))]
+        for m in metric_list:
+            relative = rel[key][m] if rel is not None else None
+            cells.append(_fmt_cell(aggs[key][m], relative, ci))
+        rows.append(cells)
+    title = f"{rs.scenario or 'results'} — {len(rs)} case(s), {stat} by " \
+            f"{'/'.join(axes)}"
+    if relative_to is not None:
+        title += f", relative to {relative_to!r}"
+    render = _markdown_table if fmt == "md" else format_table
+    return render(headers, rows, title=title)

@@ -27,6 +27,7 @@ from repro.scenarios.runner import (
     CaseResult,
     build_system,
     case_to_dict,
+    case_to_type,
     dumps_result,
     run_case,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "all_specs",
     "build_system",
     "case_to_dict",
+    "case_to_type",
     "dumps_result",
     "get",
     "names",

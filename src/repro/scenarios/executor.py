@@ -16,7 +16,7 @@ else ``forkserver``, else ``spawn``; override with ``REPRO_MP_START``.
 **Ordered streaming.**  Cases run through ``imap`` (order-preserving,
 chunked by a pool-size heuristic), and every finished row is appended
 to the artifact *immediately* — the writer reproduces the exact bytes
-of :func:`~repro.scenarios.runner.dumps_result`, so a streamed artifact
+of :func:`~repro.results.io.dumps_artifact`, so a streamed artifact
 is indistinguishable from a buffered one, but a long sweep shows
 progress on disk and never holds every row twice.
 
@@ -44,12 +44,8 @@ import sys
 from typing import Any, Dict, Iterator, List, Optional, TextIO, Tuple
 
 from repro.apps.registry import AppRef, get_app
-from repro.scenarios.runner import (
-    COMPACT_THRESHOLD,
-    case_to_dict,
-    run_case,
-    scheme_factory,
-)
+from repro.results.io import COMPACT_THRESHOLD
+from repro.scenarios.runner import case_to_dict, run_case, scheme_factory
 from repro.scenarios.spec import ScenarioSpec
 
 #: Executor observability (monotone counters; tests and the perf suite
@@ -242,7 +238,7 @@ class CaseCache:
 # -- streaming artifact writer ------------------------------------------------
 class StreamingSweepWriter:
     """Incremental sweep-artifact writer, byte-identical to
-    :func:`~repro.scenarios.runner.dumps_result` plus trailing newline.
+    :func:`~repro.results.io.dumps_artifact` plus trailing newline.
 
     The canonical layouts put ``"cases"`` first (sorted keys), so rows
     can stream to disk as they finish; the envelope tail (``n_cases``,
@@ -329,7 +325,7 @@ def run_sweep(
     with a resume cache this is the "kill half-way" half of a resumable
     run).  With ``out_path`` the artifact streams to disk row by row;
     ``compact`` picks the layout (None = automatic by sweep size, see
-    :func:`~repro.scenarios.runner.dumps_result`).
+    :func:`~repro.results.io.dumps_artifact`).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")

@@ -1,19 +1,24 @@
-"""Scenario execution: single cases and canonical serialization.
+"""Scenario execution: single cases, reduced to typed artifact rows.
 
 A scenario's matrix (app × scheme × seed) expands into independent
 cases.  Each case builds a fresh :class:`MobiStreamsSystem` seeded via
 :class:`~repro.sim.rng.RngRegistry`, arms the scenario's event script,
-runs it, and reduces the trace to a JSON-ready metrics dict.  Cases
-share nothing and are deterministic in (spec, app, scheme, seed) —
-which is what lets :mod:`repro.scenarios.executor` fan them out over a
-warm ``multiprocessing`` pool, resume partial sweeps from a case cache,
-and stream artifacts, all while staying bit-identical to a serial run.
+runs it, and reduces the trace to an artifact row — the schema lives in
+:mod:`repro.results.model`; :func:`case_to_type`/:func:`case_to_dict`
+are the bridge from a live run.  Cases share nothing and are
+deterministic in (spec, app, scheme, seed) — which is what lets
+:mod:`repro.scenarios.executor` fan them out over a warm
+``multiprocessing`` pool, resume partial sweeps from a case cache, and
+stream artifacts, all while staying bit-identical to a serial run.
+
+The sweep/serialization entry points that used to live here
+(``run_sweep``, ``dumps_result``) are deprecated shims now; use
+:func:`repro.scenarios.executor.run_sweep` and :mod:`repro.results`.
 """
 
 from __future__ import annotations
 
-import json
-import math
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -28,6 +33,8 @@ from repro.checkpoint import MobiStreamsScheme
 from repro.core.metrics import MetricsReport
 from repro.core.system import MobiStreamsSystem, RegionBuildSpec, SystemConfig
 from repro.device.phone import PhoneConfig
+from repro.results.io import COMPACT_THRESHOLD, dumps_artifact  # noqa: F401
+from repro.results.model import CaseResult as ArtifactCase
 from repro.scenarios.events import EventDirector
 from repro.scenarios.spec import ScenarioSpec
 
@@ -141,65 +148,50 @@ def run_case(spec: ScenarioSpec, app: AppRefLike, scheme: str, seed: int) -> Cas
     )
 
 
-def _num(x: float) -> Optional[float]:
-    """NaN-free float for strict JSON."""
-    return None if isinstance(x, float) and math.isnan(x) else x
+def case_to_type(result: CaseResult) -> ArtifactCase:
+    """The artifact-typed form of a live case result (the schema lives
+    in :mod:`repro.results.model`; this is the bridge from a run)."""
+    return ArtifactCase.from_report(
+        scenario=result.scenario,
+        app=result.app,
+        scheme=result.scheme,
+        seed=result.seed,
+        report=result.report,
+        region_stopped=result.region_stopped,
+    )
 
 
 def case_to_dict(result: CaseResult) -> Dict[str, Any]:
     """JSON-ready metrics for one case (stable, timestamp-free)."""
-    report = result.report
-    regions = {}
-    for i, (name, rm) in enumerate(report.per_region.items()):
-        regions[name] = {
-            "output_tuples": rm.output_tuples,
-            "throughput_tps": _num(rm.throughput_tps),
-            "mean_latency_s": _num(rm.mean_latency_s),
-            "p95_latency_s": _num(rm.p95_latency_s),
-            "stopped": result.region_stopped[i],
-        }
-    return {
-        "scenario": result.scenario,
-        "app": result.app,
-        "scheme": result.scheme,
-        "seed": result.seed,
-        "regions": regions,
-        "end_to_end_latency_s": _num(report.end_to_end_latency_s),
-        "preserved_bytes": report.preserved_bytes,
-        "ft_network_bytes": report.ft_network_bytes,
-        "wifi_bytes": report.wifi_bytes,
-        "cellular_bytes": report.cellular_bytes,
-        "recoveries": report.recoveries,
-        "departures_handled": report.departures_handled,
-    }
-
-
-#: Sweeps at or above this many cases default to compact JSON: pretty-
-#: printing a huge artifact burns real time and disk for no reader.
-COMPACT_THRESHOLD = 100
+    return case_to_type(result).to_dict()
 
 
 def run_sweep(spec: ScenarioSpec, *args, **kwargs) -> Dict[str, Any]:
-    """Back-compat shim: the sweep machinery lives in
-    :func:`repro.scenarios.executor.run_sweep` now (warm pool, resume
-    cache, streaming artifacts); this keeps historical
-    ``runner.run_sweep`` imports working."""
+    """Deprecated shim: the sweep machinery lives in
+    :func:`repro.scenarios.executor.run_sweep` (warm pool, resume
+    cache, streaming artifacts); consume the returned dict through
+    :class:`repro.results.ResultSet`."""
+    warnings.warn(
+        "repro.scenarios.runner.run_sweep is deprecated; call "
+        "repro.scenarios.executor.run_sweep (re-exported as "
+        "repro.scenarios.run_sweep) and analyze artifacts with "
+        "repro.results.ResultSet",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.scenarios.executor import run_sweep as _run_sweep
 
     return _run_sweep(spec, *args, **kwargs)
 
 
 def dumps_result(result: Dict[str, Any], compact: Optional[bool] = None) -> str:
-    """Canonical serialization (sorted keys, fixed layout) so serial and
-    parallel sweeps of the same scenario compare byte-for-byte.
-
-    ``compact=None`` keeps the human-readable indented layout for small
-    sweeps and switches to separators-only JSON at
-    :data:`COMPACT_THRESHOLD` cases; both layouts stay canonical
-    (key-sorted), just differently whitespaced.
-    """
-    if compact is None:
-        compact = result.get("n_cases", 0) >= COMPACT_THRESHOLD
-    if compact:
-        return json.dumps(result, sort_keys=True, separators=(",", ":"))
-    return json.dumps(result, sort_keys=True, indent=2)
+    """Deprecated shim for the canonical artifact serialization, which
+    lives in :func:`repro.results.io.dumps_artifact` now (use
+    :meth:`repro.results.ResultSet.to_json` for typed sets)."""
+    warnings.warn(
+        "repro.scenarios.runner.dumps_result is deprecated; use "
+        "repro.results.dumps_artifact or ResultSet.to_json",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return dumps_artifact(result, compact=compact)

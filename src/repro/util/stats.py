@@ -23,6 +23,17 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
+def nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending non-empty sample: the
+    smallest value with at least ``q`` of the sample at or below it.
+
+    This is the artifact contract's percentile (the metrics layer's
+    ``p95_latency_s`` and ``ResultSet.aggregate('p95')`` both use it),
+    so the formula must live in exactly one place.
+    """
+    return sorted_values[max(0, math.ceil(q * len(sorted_values)) - 1)]
+
+
 def mean_ci(values: Sequence[float], z: float = 1.96) -> Tuple[float, float]:
     """(mean, half-width of the normal-approximation CI)."""
     arr = np.asarray(values, dtype=float)

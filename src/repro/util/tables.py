@@ -1,0 +1,28 @@
+"""Plain-text table rendering shared by the bench reports and the
+results API (one implementation; layouts are pinned by golden tests)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence],
+                 title: str = "") -> str:
+    """Column-aligned text table (paper-vs-measured report layout)."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            cols[i].append(cell if isinstance(cell, str) else f"{cell}")
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        cells = [
+            (cell if isinstance(cell, str) else str(cell)).ljust(w)
+            for cell, w in zip(row, widths)
+        ]
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

@@ -96,3 +96,76 @@ def test_fig9_chart_renders_curves_and_deaths():
     assert "✗" in out  # the unrecoverable dist-1 point
     out_lat = fig9_chart(curves, "bcp", "latency")
     assert "relative latency" in out_lat
+
+
+# -- golden text --------------------------------------------------------------
+# Exact renderings pinned character-for-character: the charts are part
+# of the bench modules' output contract ("identical output through the
+# new results API"), so any drift in bar scaling, partial-cell glyphs,
+# axis layout, or legends must be a conscious change here.
+def test_bar_chart_golden_text():
+    chart = bar_chart([("base", 1.0), ("rep-2", 0.3), ("ms-8", 0.8)],
+                      title="T", width=20, unit="x", reference=1.0)
+    assert chart == (
+        "T\n"
+        " base │████████████████████│ 1.00x\n"
+        "rep-2 │██████              │ 0.30x\n"
+        " ms-8 │████████████████    │ 0.80x"
+    )
+
+
+def test_line_chart_golden_text():
+    chart = line_chart({"a": [(0, 1.0), (1, 0.5), (2, None)],
+                        "b": [(0, 1.0), (2, 2.0)]},
+                       title="L", height=6, x_label="n", y_label="rel")
+    assert chart == (
+        "L\n"
+        "  [rel]\n"
+        "  2.00 ┤          * \n"
+        "       │            \n"
+        "       │            \n"
+        "  0.80 ┤  ▒         \n"  # a and b overlap at (0, 1.0)
+        "       │      o     \n"
+        "  0.00 ┤          ✗ \n"
+        "       └────────────\n"
+        "         0   1   2    (n)\n"
+        "  o a   * b"
+    )
+
+
+def test_fig8_chart_golden_text():
+    rel = {"base": {"throughput": 1.0, "latency": 1.0},
+           "ms-8": {"throughput": 0.9, "latency": 1.2}}
+    assert fig8_chart(rel, "bcp", ["base", "ms-8"]) == (
+        "Fig. 8 — bcp: relative throughput (base = 1.0)\n"
+        "base │████████████████████████████████████████│ 1.00x\n"
+        "ms-8 │████████████████████████████████████    │ 0.90x\n"
+        "\n"
+        "Fig. 8 — bcp: relative latency (base = 1.0)\n"
+        "base │█████████████████████████████████▎      │ 1.00x\n"
+        "ms-8 │████████████████████████████████████████│ 1.20x"
+    )
+
+
+def test_fig9_chart_golden_text():
+    curves = {"ms-8 failure": [(0, 1.0, 1.0, True), (1, 0.8, 1.5, True)],
+              "dist-1 failure": [(0, 1.0, 1.0, True), (1, 0.0, 0.0, False)]}
+    assert fig9_chart(curves, "bcp", "throughput") == (
+        "Fig. 9 — bcp: relative throughput vs simultaneous faults\n"
+        "  [relative throughput]\n"
+        "  1.00 ┤  ▒     \n"
+        "       │        \n"
+        "       │        \n"
+        "  0.73 ┤      o \n"
+        "       │        \n"
+        "       │        \n"
+        "  0.45 ┤        \n"
+        "       │        \n"
+        "       │        \n"
+        "  0.18 ┤        \n"
+        "       │        \n"
+        "  0.00 ┤      ✗ \n"
+        "       └────────\n"
+        "         0   1    (n nodes fail/leave)\n"
+        "  o ms-8 failure   * dist-1 failure"
+    )

@@ -94,3 +94,22 @@ def test_until_defaults_to_last_record():
     trace = make_trace([(10, "r0", 1.0), (50, "r0", 1.0)])
     m = compute_metrics(trace, ["r0"])
     assert m.window_end == 50.0
+
+
+def test_region_lookup_by_name():
+    trace = make_trace([(10, "r0", 1.0)])
+    m = compute_metrics(trace, ["r0", "r1"], until=20.0)
+    assert m.region("r0") is m.per_region["r0"]
+
+
+def test_region_lookup_unknown_name_lists_known_regions():
+    trace = make_trace([(10, "r0", 1.0)])
+    m = compute_metrics(trace, ["r0", "r1"], until=20.0)
+    with pytest.raises(ValueError, match="unknown region 'dc'.*r0, r1"):
+        m.region("dc")
+
+
+def test_region_lookup_on_empty_report():
+    m = MetricsReport(window_start=0.0, window_end=1.0)
+    with pytest.raises(ValueError, match="<none>"):
+        m.region("r0")

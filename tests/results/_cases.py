@@ -1,0 +1,19 @@
+"""Shared synthetic-case builder for the results-API tests."""
+
+from repro.results import CaseResult, RegionResult
+
+
+def make_case(app="bcp", scheme="ms-8", seed=3, tput=10.0, lat=2.0,
+              preserved=100.0, recoveries=0, stopped=False,
+              scenario="synth", outputs=50):
+    """One artifact-shaped case with a single region."""
+    region = RegionResult(
+        name="region0", output_tuples=outputs, throughput_tps=tput,
+        mean_latency_s=lat, p95_latency_s=None if lat is None else lat * 2,
+        stopped=stopped)
+    return CaseResult(
+        scenario=scenario, app=app, scheme=scheme, seed=seed,
+        regions=(region,), end_to_end_latency_s=lat,
+        preserved_bytes=preserved, ft_network_bytes=preserved / 2,
+        wifi_bytes=0.0, cellular_bytes=0.0, recoveries=recoveries,
+        departures_handled=0)

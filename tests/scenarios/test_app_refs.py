@@ -6,7 +6,9 @@ import pytest
 
 from repro import scenarios
 from repro.apps.registry import AppRef
-from repro.scenarios.runner import run_case, run_sweep
+from repro.results import dumps_artifact
+from repro.scenarios.executor import run_sweep
+from repro.scenarios.runner import run_case
 from repro.scenarios.spec import MatrixSpec, ScenarioSpec
 
 
@@ -89,8 +91,8 @@ def test_edgeml_sweep_is_byte_identical_serial_vs_parallel():
     """The acceptance bar: an edgeml sweep with parameterized refs
     aggregated via --jobs 4 serializes byte-for-byte like --jobs 1."""
     spec = edgeml_spec()
-    serial = scenarios.dumps_result(run_sweep(spec, jobs=1))
-    parallel = scenarios.dumps_result(run_sweep(spec, jobs=4))
+    serial = dumps_artifact(run_sweep(spec, jobs=1))
+    parallel = dumps_artifact(run_sweep(spec, jobs=4))
     assert serial == parallel
     keys = [c["app"] for c in json.loads(serial)["cases"]]
     assert keys == ["edgeml", "edgeml[n_stages=2]"]

@@ -5,7 +5,7 @@ import os
 
 import pytest
 
-from repro import scenarios
+from repro.results import dumps_artifact
 from repro.scenarios import executor
 from repro.scenarios.executor import (
     CaseCache,
@@ -62,7 +62,7 @@ def test_streaming_writer_matches_dumps_result(tmp_path, compact, n_rows):
     for row in rows:
         writer.write_row(row)
     writer.finish(spec.name, spec.to_dict(), n_rows)
-    assert path.read_text() == scenarios.dumps_result(result, compact=compact) + "\n"
+    assert path.read_text() == dumps_artifact(result, compact=compact) + "\n"
 
 
 def test_aborted_stream_preserves_existing_artifact(tmp_path):
@@ -91,7 +91,7 @@ def test_sweep_artifact_streams_byte_identical(tmp_path):
     spec = small_spec(matrix=MatrixSpec(apps=("bcp",), schemes=("base",), seeds=(3,)))
     out = tmp_path / "sweep.json"
     result = run_sweep(spec, jobs=1, out_path=str(out))
-    assert out.read_text() == scenarios.dumps_result(result) + "\n"
+    assert out.read_text() == dumps_artifact(result) + "\n"
 
 
 # -- resume cache -------------------------------------------------------------
@@ -113,7 +113,7 @@ def test_partial_sweep_then_resume_is_byte_identical(tmp_path):
     cache; the re-run only simulates the missing cases and produces the
     same bytes as an uninterrupted sweep."""
     spec = small_spec()
-    fresh = scenarios.dumps_result(run_sweep(spec, jobs=1))
+    fresh = dumps_artifact(run_sweep(spec, jobs=1))
 
     cache_dir = str(tmp_path / "cache")
     partial = run_sweep(spec, jobs=1, max_cases=2, resume_dir=cache_dir)
@@ -121,7 +121,7 @@ def test_partial_sweep_then_resume_is_byte_identical(tmp_path):
 
     runs_before = executor.stats["cases_run"]
     hits_before = executor.stats["cache_hits"]
-    resumed = scenarios.dumps_result(run_sweep(spec, jobs=1, resume_dir=cache_dir))
+    resumed = dumps_artifact(run_sweep(spec, jobs=1, resume_dir=cache_dir))
     assert resumed == fresh
     assert executor.stats["cache_hits"] - hits_before == 2
     assert executor.stats["cases_run"] - runs_before == 2  # only the missing half
@@ -144,7 +144,7 @@ def test_fully_cached_resume_runs_no_cases(tmp_path):
     runs_before = executor.stats["cases_run"]
     second = run_sweep(spec, jobs=1, resume_dir=cache_dir)
     assert executor.stats["cases_run"] == runs_before
-    assert scenarios.dumps_result(first) == scenarios.dumps_result(second)
+    assert dumps_artifact(first) == dumps_artifact(second)
 
 
 def test_max_cases_validation():
@@ -157,13 +157,13 @@ def test_serial_parallel_resumed_sweeps_are_byte_identical(tmp_path):
     """The executor's acceptance bar: serial, warm-pool parallel, and
     partially-resumed parallel runs all serialize identically."""
     spec = small_spec()
-    serial = scenarios.dumps_result(run_sweep(spec, jobs=1))
-    parallel = scenarios.dumps_result(run_sweep(spec, jobs=2))
+    serial = dumps_artifact(run_sweep(spec, jobs=1))
+    parallel = dumps_artifact(run_sweep(spec, jobs=2))
     assert parallel == serial
 
     cache_dir = str(tmp_path / "cache")
     run_sweep(spec, jobs=2, max_cases=3, resume_dir=cache_dir)
-    resumed = scenarios.dumps_result(run_sweep(spec, jobs=2, resume_dir=cache_dir))
+    resumed = dumps_artifact(run_sweep(spec, jobs=2, resume_dir=cache_dir))
     assert resumed == serial
 
 
@@ -246,8 +246,9 @@ def test_shutdown_pool_is_idempotent():
     assert result["n_cases"] == 2
 
 
-def test_runner_run_sweep_shim_still_works():
+def test_runner_run_sweep_shim_still_works_but_warns():
     from repro.scenarios.runner import run_sweep as runner_run_sweep
 
     spec = small_spec(matrix=MatrixSpec(apps=("bcp",), schemes=("base",), seeds=(3,)))
-    assert runner_run_sweep(spec, jobs=1)["n_cases"] == 1
+    with pytest.warns(DeprecationWarning, match="executor.run_sweep"):
+        assert runner_run_sweep(spec, jobs=1)["n_cases"] == 1

@@ -6,8 +6,9 @@ import os
 
 import pytest
 
-from repro import scenarios
-from repro.scenarios.runner import case_to_dict, run_case, run_sweep
+from repro.results import dumps_artifact
+from repro.scenarios.executor import run_sweep
+from repro.scenarios.runner import case_to_dict, run_case
 from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
 
 
@@ -48,8 +49,8 @@ def test_parallel_sweep_is_byte_identical_to_serial():
     """The acceptance bar: a 2 (scheme) x 2 (seed) sweep aggregated via
     --jobs 4 must serialize byte-for-byte the same as --jobs 1."""
     spec = small_spec()
-    serial = scenarios.dumps_result(run_sweep(spec, jobs=1))
-    parallel = scenarios.dumps_result(run_sweep(spec, jobs=4))
+    serial = dumps_artifact(run_sweep(spec, jobs=1))
+    parallel = dumps_artifact(run_sweep(spec, jobs=4))
     assert serial == parallel
 
 
@@ -58,8 +59,8 @@ def test_parallel_sweep_with_events_is_deterministic():
         EventSpec(kind="crash", time=100.0, phones=(3,)),
         EventSpec(kind="surge", time=60.0, factor=2.0, until=120.0),
     ))
-    serial = scenarios.dumps_result(run_sweep(spec, jobs=1))
-    parallel = scenarios.dumps_result(run_sweep(spec, jobs=2))
+    serial = dumps_artifact(run_sweep(spec, jobs=1))
+    parallel = dumps_artifact(run_sweep(spec, jobs=2))
     assert serial == parallel
 
 
@@ -69,7 +70,7 @@ def test_sweep_writes_canonical_artifact(tmp_path):
     result = run_sweep(spec, jobs=1, out_path=str(out))
     assert out.exists()
     on_disk = out.read_text()
-    assert on_disk == scenarios.dumps_result(result) + "\n"
+    assert on_disk == dumps_artifact(result) + "\n"
     assert json.loads(on_disk)["scenario"] == "sweep-t"
 
 
@@ -108,20 +109,20 @@ def test_parallel_sweep_is_faster_on_multicore():
     assert par < serial
 
 
-def test_dumps_result_compact_flag_and_threshold():
-    from repro.scenarios.runner import COMPACT_THRESHOLD, dumps_result
+def test_dumps_artifact_compact_flag_and_threshold():
+    from repro.results import COMPACT_THRESHOLD
 
     small = {"scenario": "s", "n_cases": 2, "cases": [{"a": 1}]}
     big = {"scenario": "s", "n_cases": COMPACT_THRESHOLD, "cases": [{"a": 1}]}
     # Small sweeps stay pretty by default; big ones go compact.
-    assert "\n" in dumps_result(small)
-    assert "\n" not in dumps_result(big)
+    assert "\n" in dumps_artifact(small)
+    assert "\n" not in dumps_artifact(big)
     # Explicit flags override the size heuristic, both ways.
-    assert "\n" not in dumps_result(small, compact=True)
-    assert "\n" in dumps_result(big, compact=False)
+    assert "\n" not in dumps_artifact(small, compact=True)
+    assert "\n" in dumps_artifact(big, compact=False)
     # Both layouts parse back to the same canonical payload.
-    assert json.loads(dumps_result(big)) == json.loads(
-        dumps_result(big, compact=False))
+    assert json.loads(dumps_artifact(big)) == json.loads(
+        dumps_artifact(big, compact=False))
 
 
 def test_sweep_writes_compact_artifact(tmp_path):
