@@ -11,7 +11,7 @@ in the runner and are re-exported here for compatibility.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.apps.registry import AppRef, AppRefLike
 from repro.core.metrics import MetricsReport
@@ -23,7 +23,8 @@ from repro.scenarios.runner import (  # noqa: F401  (compat re-exports)
     scheme_factories,
     scheme_factory,
 )
-from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
+from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec, TelemetrySpec
+from repro.telemetry import Timeline
 from repro.util.tables import format_table  # noqa: F401  (compat re-export)
 
 #: One timed fault: (time, [phone indices]).
@@ -66,6 +67,9 @@ class ExperimentConfig:
     crash: FaultSpec = None
     #: Departure events: ``(time, [phone indices])`` or a list of them.
     depart: FaultSpec = None
+    #: Sample live QoS telemetry every this-many simulated seconds
+    #: (None = off; the outcome then carries no timeline).
+    telemetry_interval_s: Optional[float] = None
 
     @property
     def crash_events(self) -> List[FaultTuple]:
@@ -98,6 +102,10 @@ class ExperimentConfig:
             matrix=MatrixSpec(
                 apps=(self.app,), schemes=(self.scheme,), seeds=(self.seed,)
             ),
+            telemetry=(
+                None if self.telemetry_interval_s is None
+                else TelemetrySpec(interval_s=self.telemetry_interval_s)
+            ),
         )
 
 
@@ -116,6 +124,9 @@ class ExperimentOutcome:
     region_stopped: bool
     recoveries: int
     case: CaseResult
+    #: The sampled QoS timeline (None unless the config set
+    #: ``telemetry_interval_s``); see :mod:`repro.telemetry`.
+    timeline: Optional[Timeline] = None
 
     @property
     def throughput(self) -> float:
@@ -137,6 +148,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentOutcome:
         region_stopped=result.region_stopped[0],
         recoveries=result.report.recoveries,
         case=case_to_type(result),
+        timeline=result.timeline,
     )
 
 

@@ -22,6 +22,12 @@ Commands
     and normalize cases (``--group-by scheme --relative-to base``)
     without re-running anything — works on streamed and resumed
     artifacts too.
+``watch``
+    Live QoS telemetry (see :mod:`repro.telemetry`): run one case of a
+    scenario with a streaming per-operator metrics table, or
+    ``--replay`` a saved ``*.timeline.json`` artifact frame by frame.
+    Pair with ``scenario sweep --telemetry --out sweep.json``, which
+    drops per-case timelines into ``sweep.timelines/``.
 ``perf``
     The performance subsystem: ``run`` the benchmark suites into
     ``BENCH_<suite>.json`` artifacts, ``compare`` a run against the
@@ -42,6 +48,9 @@ Examples
     python -m repro scenario run paper-fig8 --quick
     python -m repro scenario sweep flash-crowd --jobs 4 --out sweep.json
     python -m repro scenario sweep paper-fig8 --jobs 4 --resume --out sweep.json
+    python -m repro scenario sweep flash-crowd --telemetry --out sweep.json
+    python -m repro watch flash-crowd --quick
+    python -m repro watch sweep.timelines --replay --scheme ms-8
     python -m repro report sweep.json --group-by scheme --relative-to base
     python -m repro report sweep.json --metrics throughput,latency --format md
     python -m repro app list
@@ -148,6 +157,50 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-cases", type=int, default=None, metavar="N",
                        help="stop after the first N matrix cases (partial "
                             "sweep; pairs with --resume to test resumption)")
+        p.add_argument("--telemetry", action="store_true",
+                       help="attach the QoS monitor to every case; with "
+                            "--out FILE.json, per-case timelines land in "
+                            "FILE.timelines/")
+        p.add_argument("--telemetry-interval", type=float, default=10.0,
+                       metavar="SECS",
+                       help="telemetry sampling interval in simulated "
+                            "seconds (default 10)")
+
+    watch_p = sub.add_parser(
+        "watch", help="live QoS telemetry: watch a scenario case or "
+                      "replay a saved timeline")
+    watch_p.add_argument(
+        "target",
+        help="a scenario name (live run), a *.timeline.json file, or a "
+             "timelines directory from `scenario sweep --telemetry`")
+    watch_p.add_argument("--replay", action="store_true",
+                         help="render a saved timeline's history frame by "
+                              "frame instead of just the final state")
+    watch_p.add_argument("--app", default=None,
+                         help="case app (live: default first matrix app; "
+                              "replay dir: filter)")
+    watch_p.add_argument("--scheme", default=None,
+                         help="case scheme (live: default first matrix "
+                              "scheme; replay dir: filter)")
+    watch_p.add_argument("--seed", type=int, default=None,
+                         help="case seed (live: default first matrix seed; "
+                              "replay dir: filter)")
+    watch_p.add_argument("--quick", action="store_true",
+                         help="live mode: time-compress the scenario to "
+                              "~300 sim seconds")
+    watch_p.add_argument("--interval", type=float, default=10.0,
+                         metavar="SECS",
+                         help="live mode: sampling interval in simulated "
+                              "seconds (default 10)")
+    watch_p.add_argument("--out", default=None, metavar="FILE",
+                         help="live mode: also save the timeline JSON here")
+    watch_p.add_argument("--delay", type=float, default=0.0, metavar="SECS",
+                         help="wall-clock pause between replay frames "
+                              "(default 0)")
+    watch_p.add_argument("--no-ansi", action="store_true",
+                         help="append-only output: one progress line per "
+                              "sample, full tables only at the end "
+                              "(automatic when stdout is not a TTY)")
 
     rep_p = sub.add_parser(
         "report", help="analyze a saved sweep artifact (no re-running)")
@@ -241,6 +294,11 @@ def cmd_run(args) -> int:
         print(f"  ft network bytes:   {r.ft_network_bytes:,.0f}")
         print(f"  wifi bytes:         {r.wifi_bytes:,.0f}")
         print(f"  cellular bytes:     {r.cellular_bytes:,.0f}")
+        print(f"  kernel events:      {r.events_processed:,d}")
+        extras = {k: v for k, v in sorted(r.counters.items())
+                  if not k.startswith(("net.", "ft."))}
+        for name, value in extras.items():
+            print(f"  {name + ':':<19s} {value:,.0f}")
     return 1 if out.region_stopped else 0
 
 
@@ -292,6 +350,16 @@ def cmd_scenario(args) -> int:
         return 2
     if args.quick:
         spec = spec.quick()
+    if args.telemetry:
+        import dataclasses
+
+        from repro.scenarios import TelemetrySpec
+        spec = dataclasses.replace(
+            spec, telemetry=TelemetrySpec(interval_s=args.telemetry_interval))
+    timelines_dir = None
+    if args.telemetry and args.out:
+        base = args.out[:-5] if args.out.endswith(".json") else args.out
+        timelines_dir = base + ".timelines"
     compact = getattr(args, "compact", None)
     resume_dir = args.cache_dir if args.resume else None
     from repro.scenarios import executor
@@ -299,11 +367,14 @@ def cmd_scenario(args) -> int:
     hits_before = executor.stats["cache_hits"]
     result = scenarios.run_sweep(spec, jobs=args.jobs, out_path=args.out,
                                  compact=compact, resume_dir=resume_dir,
-                                 max_cases=args.max_cases)
+                                 max_cases=args.max_cases,
+                                 timelines_dir=timelines_dir)
     if resume_dir:
         hits = executor.stats["cache_hits"] - hits_before
         print(f"resume cache: {hits}/{result['n_cases']} case(s) reused "
               f"from {resume_dir}", file=sys.stderr)
+    if timelines_dir:
+        print(f"telemetry timelines -> {timelines_dir}/", file=sys.stderr)
     rs = ResultSet.from_sweep(result)
     if args.scenario_command == "sweep" and args.out:
         print(f"{len(rs)} cases -> {args.out}")
@@ -384,6 +455,116 @@ def cmd_app(args) -> int:
     return 0
 
 
+def _watch_render(timeline, replay: bool, use_ansi: bool, delay: float) -> None:
+    """Render one timeline: frame-by-frame history when replaying, then
+    (always) the final full frame — so piped/CI output ends with the
+    complete region + operator tables."""
+    import time
+
+    from repro.telemetry import render_frame, render_progress_line
+    from repro.telemetry.watch import ANSI_CLEAR, replay_frames
+
+    if replay:
+        if use_ansi:
+            for frame in replay_frames(timeline):
+                print(ANSI_CLEAR + frame)
+                if delay > 0:
+                    time.sleep(delay)
+        else:
+            for snap in timeline.snapshots:
+                print(render_progress_line(snap))
+    print(render_frame(timeline))
+
+
+def cmd_watch(args) -> int:
+    import dataclasses
+    import os
+
+    from repro.telemetry import (
+        Timeline,
+        dumps_timeline,
+        load_timeline,
+        render_frame,
+        render_progress_line,
+    )
+    from repro.telemetry.watch import ANSI_CLEAR
+
+    use_ansi = not args.no_ansi and sys.stdout.isatty()
+
+    if os.path.isdir(args.target):
+        names = sorted(n for n in os.listdir(args.target)
+                       if n.endswith(".timeline.json"))
+        timelines = []
+        for name in names:
+            tl = load_timeline(os.path.join(args.target, name))
+            if args.app is not None and tl.app != args.app:
+                continue
+            if args.scheme is not None and tl.scheme != args.scheme:
+                continue
+            if args.seed is not None and tl.seed != args.seed:
+                continue
+            timelines.append(tl)
+        if not timelines:
+            print(f"error: no matching *.timeline.json under {args.target}",
+                  file=sys.stderr)
+            return 2
+        for i, tl in enumerate(timelines):
+            if i:
+                print()
+            _watch_render(tl, args.replay, use_ansi, args.delay)
+        return 0
+
+    if os.path.isfile(args.target):
+        _watch_render(load_timeline(args.target), args.replay,
+                      use_ansi, args.delay)
+        return 0
+
+    # Live mode: run one case of a named scenario with telemetry attached.
+    from repro import scenarios
+    from repro.scenarios import TelemetrySpec, run_case
+
+    try:
+        spec = scenarios.get(args.target)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]} (targets may also be a timeline file "
+              "or directory)", file=sys.stderr)
+        return 2
+    if args.replay:
+        print("error: --replay needs a saved timeline file or directory, "
+              f"not scenario {args.target!r}", file=sys.stderr)
+        return 2
+    if args.quick:
+        spec = spec.quick()
+    spec = dataclasses.replace(
+        spec, telemetry=TelemetrySpec(interval_s=args.interval))
+    app = args.app if args.app is not None else spec.matrix.apps[0]
+    scheme = args.scheme if args.scheme is not None else spec.matrix.schemes[0]
+    seed = args.seed if args.seed is not None else spec.matrix.seeds[0]
+
+    live: list = []
+
+    def on_snapshot(snap) -> None:
+        live.append(snap)
+        if use_ansi:
+            partial = Timeline(
+                scenario=spec.name, app=str(app), scheme=scheme, seed=seed,
+                interval_s=args.interval, snapshots=tuple(live))
+            print(ANSI_CLEAR + render_frame(partial))
+        else:
+            print(render_progress_line(snap), flush=True)
+
+    result = run_case(spec, app, scheme, seed, on_snapshot=on_snapshot)
+    timeline = result.timeline
+    if use_ansi:
+        print(ANSI_CLEAR, end="")
+    print(render_frame(timeline))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(dumps_timeline(timeline.to_dict()) + "\n")
+        print(f"timeline -> {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_report(args) -> int:
     try:
         rs = ResultSet.load(args.artifact)
@@ -453,8 +634,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     return {"run": cmd_run, "bench": cmd_bench, "scenario": cmd_scenario,
-            "report": cmd_report, "app": cmd_app, "perf": cmd_perf,
-            "info": cmd_info}[args.command](args)
+            "watch": cmd_watch, "report": cmd_report, "app": cmd_app,
+            "perf": cmd_perf, "info": cmd_info}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

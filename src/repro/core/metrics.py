@@ -49,6 +49,14 @@ class MetricsReport:
     cellular_bytes: float = 0.0
     recoveries: int = 0
     departures_handled: int = 0
+    #: Simulator kernel events executed over the whole run (0 when the
+    #: report was computed without a live simulator); same name as the
+    #: telemetry snapshots' field — see :mod:`repro.telemetry`.
+    events_processed: int = 0
+    #: Raw hot-counter snapshot (``net.*``, ``ft.*``, per-region
+    #: counters), filled by :meth:`MobiStreamsSystem.metrics`.  Live
+    #: diagnostics only — never serialized into artifact rows.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_throughput_tps(self) -> float:

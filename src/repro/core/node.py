@@ -311,6 +311,9 @@ class NodeRuntime:
             )
             return
         self.region.scheme.on_processed(self, op_name, tup)
+        telemetry = self.region.telemetry
+        if telemetry is not None:
+            telemetry.tuple_complete(self.region.name, op_name, len(outputs))
 
         if op.is_sink:
             for out in outputs:

@@ -132,6 +132,10 @@ class Region:
         #: Downstream regions: list of (source_node_resolver, region_name).
         self._downstream: List["Region"] = []
         self.controller: Optional["Controller"] = None
+        #: Live QoS monitor, if any (set by ``QoSMonitor.watch_region``).
+        #: Node runtimes report tuple completions here; ``None`` keeps
+        #: the hot path at a single attribute check.
+        self.telemetry: Optional[Any] = None
         #: Links currently in urgent (cellular) mode: {(src_node, dst_node)}.
         self.urgent_links: Set[Tuple[str, str]] = set()
         #: Phones that already filed a chronic-battery self-report.

@@ -293,6 +293,18 @@ class MobiStreamsSystem:
         if getattr(scheme, "wants_checkpoint_clock", False):
             self.controller.start_checkpoint_clock(region, self.config.checkpoint_period_s)
 
+    def attach_telemetry(self, monitor: Any) -> Any:
+        """Wire a live QoS monitor into every region (cascade order).
+
+        The monitor (:class:`repro.telemetry.QoSMonitor`) taps node
+        runtimes through ``region.telemetry`` and the shared trace
+        through an observer; call this before :meth:`run`, then the
+        monitor's own ``start()``.  Returns the monitor for chaining.
+        """
+        for region in self.regions:
+            monitor.watch_region(region)
+        return monitor
+
     def run(self, duration_s: float) -> None:
         """Start (if needed) and simulate ``duration_s`` of virtual time."""
         if not self._started:
@@ -300,13 +312,24 @@ class MobiStreamsSystem:
         self.sim.run(until=self.sim.now + duration_s)
 
     def metrics(self, warmup_s: float = 0.0, until: Optional[float] = None) -> MetricsReport:
-        """Measurement report over ``[warmup_s, until]``."""
-        return compute_metrics(
+        """Measurement report over ``[warmup_s, until]``.
+
+        Beyond the trace-derived figures, the report carries the live
+        kernel/hot-counter view (``events_processed``, ``counters``) —
+        the shared namespace the telemetry layer samples (see
+        :mod:`repro.telemetry`); neither reaches artifact rows.
+        """
+        report = compute_metrics(
             self.trace,
             [r.name for r in self.regions],
             warmup_s=warmup_s,
             until=until if until is not None else self.sim.now,
         )
+        report.events_processed = self.sim.events_processed
+        report.counters = {
+            name: counter.value for name, counter in self.trace.counters.items()
+        }
+        return report
 
     def region(self, index: int) -> Region:
         """Region by cascade position."""

@@ -4,7 +4,9 @@ Four microbenchmark suites exercise the layers the hot-path work targets
 (simulation kernel, trace monitor, WiFi broadcast, checkpoint rounds);
 the ``scenarios`` suite times full named-scenario cases end to end, and
 the ``sweep_throughput`` suite times the sweep *executor* — warm-pool
-re-runs, fully-cached resumes, and raw artifact streaming.
+re-runs, fully-cached resumes, and raw artifact streaming.  The
+``telemetry`` suite gates the QoS monitor: its sampling overhead on a
+full scenario case and the kernel cost of the ``call_every`` sampler.
 
 Each case returns a metrics dict with at least ``wall_s``; kernel-driven
 cases add ``events``, ``events_per_s``, and (for scenario runs)
@@ -546,10 +548,111 @@ def _stream_writer_rows(quick: bool) -> CaseFn:
     return run
 
 
+# -- telemetry ----------------------------------------------------------------
+@_register("telemetry", "flash-crowd/overhead")
+def _telemetry_overhead(quick: bool) -> CaseFn:
+    """QoS-monitor sampling overhead on a full scenario case.
+
+    Runs the same (spec, app, scheme, seed) with telemetry off and on
+    (~30 samples over the run) in *interleaved* pairs, then compares
+    the per-arm minimum walls (``overhead_frac`` = enabled/disabled
+    minus one).  Interleaving keeps both arms exposed to the same
+    machine weather; per-arm minima strip the rest of the scheduler
+    noise.  ``wall_s`` is the best *enabled* wall, so the standard
+    compare gate bounds the absolute cost too;
+    ``tests/perf/test_telemetry_overhead.py`` gates the fraction.
+    """
+
+    def run() -> Dict[str, float]:
+        import dataclasses
+
+        from repro.scenarios import get
+        from repro.scenarios.runner import run_case
+        from repro.scenarios.spec import TelemetrySpec
+
+        # Quick mode time-compresses the scenario, which inflates the
+        # *fraction*: ~30 fixed-cost samples land on a tens-of-ms run.
+        # The 5% overhead gate therefore reads the full-length number;
+        # quick's wall_s still feeds the CI ratio gate.
+        spec = get("flash-crowd")
+        reps = 3
+        if quick:
+            spec = spec.quick(120.0)
+            reps = 5
+        spec_on = dataclasses.replace(
+            spec, telemetry=TelemetrySpec(interval_s=spec.duration_s / 30.0))
+
+        def one(s) -> float:
+            t0 = time.perf_counter()
+            run_case(s, "bcp", "ms-8", 3)
+            return time.perf_counter() - t0
+
+        one(spec)  # untimed warm-up: imports and caches, not the gate
+        offs, ons = [], []
+        for _ in range(reps):
+            offs.append(one(spec))
+            ons.append(one(spec_on))
+        off, on = min(offs), min(ons)
+        return {
+            "wall_s": on,
+            "wall_off_s": off,
+            "overhead_frac": (on / off - 1.0) if off > 0 else 0.0,
+        }
+
+    return run
+
+
+@_register("telemetry", "kernel/call-every")
+def _telemetry_call_every(quick: bool) -> CaseFn:
+    """Kernel cost of the telemetry sampling machinery itself: timeout
+    churn with a ``call_every`` sampler armed and inline event counting
+    on — the exact run-loop configuration a live monitor selects.
+    Repeats internally (the suite is single-run for the overhead case's
+    sake) and keeps the best wall."""
+    n_procs, n_ticks = (10, 500) if quick else (30, 2000)
+    reps = MICRO_REPEATS_QUICK if quick else MICRO_REPEATS
+
+    def run() -> Dict[str, float]:
+        def once() -> Dict[str, float]:
+            sim = Simulator()
+            samples = [0]
+
+            def ticker(sim: Simulator, n: int):
+                for _ in range(n):
+                    yield sim.timeout(0.01)
+
+            for _ in range(n_procs):
+                sim.process(ticker(sim, n_ticks))
+            cancel = sim.call_every(
+                0.05, lambda: samples.__setitem__(0, samples[0] + 1))
+            sim.count_inline = True
+            horizon = n_ticks * 0.01
+            t0 = time.perf_counter()
+            sim.run(until=horizon)
+            wall = time.perf_counter() - t0
+            cancel()
+            assert samples[0] > 0
+            ev = sim.events_processed
+            return {"wall_s": wall, "events": ev,
+                    "events_per_s": _events_per_s(ev, wall),
+                    "samples": float(samples[0])}
+
+        best: Dict[str, float] = {}
+        for _ in range(reps):
+            metrics = once()
+            if not best or metrics["wall_s"] < best["wall_s"]:
+                best = metrics
+        return best
+
+    return run
+
+
 #: Suites whose cases are full runs (long enough to be stable); everything
 #: else — the ``sweep_throughput`` executor cases included — is short
 #: enough to repeat best-of, which is what keeps the CI ratio gate calm.
-SINGLE_RUN_SUITES = ("scenarios",)
+#: ``telemetry`` is here because its overhead case repeats *internally*
+#: (best-of per arm) — the outer best-of would re-pair the arms.
+SINGLE_RUN_SUITES = ("scenarios", "telemetry")
 
 
 # -- execution ----------------------------------------------------------------

@@ -31,7 +31,13 @@ from repro.scenarios.runner import (
     dumps_result,
     run_case,
 )
-from repro.scenarios.spec import EventSpec, MatrixSpec, RegionSpec, ScenarioSpec
+from repro.scenarios.spec import (
+    EventSpec,
+    MatrixSpec,
+    RegionSpec,
+    ScenarioSpec,
+    TelemetrySpec,
+)
 
 __all__ = [
     "CaseCache",
@@ -42,6 +48,7 @@ __all__ = [
     "RegionSpec",
     "ScenarioSpec",
     "StreamingSweepWriter",
+    "TelemetrySpec",
     "all_specs",
     "build_system",
     "case_to_dict",

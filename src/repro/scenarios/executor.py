@@ -47,6 +47,7 @@ from repro.apps.registry import AppRef, get_app
 from repro.results.io import COMPACT_THRESHOLD
 from repro.scenarios.runner import case_to_dict, run_case, scheme_factory
 from repro.scenarios.spec import ScenarioSpec
+from repro.telemetry.timeline import dumps_timeline
 
 #: Executor observability (monotone counters; tests and the perf suite
 #: read these — nothing here ever reaches an artifact).
@@ -116,9 +117,22 @@ def _init_worker(spec_dict: Dict[str, Any]) -> None:
     _WORKER_SPEC = ScenarioSpec.from_dict(spec_dict)
 
 
+def _execute_case(
+    spec: ScenarioSpec, app: AppRef, scheme: str, seed: int
+) -> Dict[str, Any]:
+    """One case as a sweep payload: the artifact row, plus — when the
+    spec opts into telemetry — the timeline dict riding alongside it
+    (kept out of the row itself: the row schema is strict)."""
+    result = run_case(spec, app, scheme, seed)
+    row = case_to_dict(result)
+    if spec.telemetry is not None:
+        return {"row": row, "timeline": result.timeline.to_dict()}
+    return row
+
+
 def _case_worker(payload: Tuple[AppRef, str, int]) -> Dict[str, Any]:
     app, scheme, seed = payload
-    return case_to_dict(run_case(_WORKER_SPEC, app, scheme, seed))
+    return _execute_case(_WORKER_SPEC, app, scheme, seed)
 
 
 # -- warm pool ----------------------------------------------------------------
@@ -208,6 +222,10 @@ class CaseCache:
     distinct cases that sanitize alike impossible to collide.  Rows are
     written atomically (tmp + rename) so a killed sweep never leaves a
     torn row behind.  Unreadable entries count as misses.
+
+    Telemetry sweeps also cache each case's timeline as a
+    ``*.timeline.json`` sidecar; a resumed telemetry sweep needs both
+    halves, so a row whose sidecar is missing counts as a full miss.
     """
 
     def __init__(self, root: str) -> None:
@@ -219,20 +237,63 @@ class CaseCache:
         name = f"{_UNSAFE.sub('_', raw)}-{tag}.json"
         return os.path.join(self.root, digest, name)
 
-    def get(self, digest: str, app_key: str, scheme: str, seed: int) -> Optional[Dict]:
+    def timeline_path(self, digest: str, app_key: str, scheme: str, seed: int) -> str:
+        base = self.path(digest, app_key, scheme, seed)
+        return base[:-len(".json")] + ".timeline.json"
+
+    @staticmethod
+    def _read(path: str) -> Optional[Dict]:
         try:
-            with open(self.path(digest, app_key, scheme, seed), encoding="utf-8") as fh:
+            with open(path, encoding="utf-8") as fh:
                 return json.load(fh)
         except (OSError, ValueError):
             return None
 
-    def put(self, digest: str, app_key: str, scheme: str, seed: int, row: Dict) -> None:
-        path = self.path(digest, app_key, scheme, seed)
+    @staticmethod
+    def _write(path: str, data: Dict) -> None:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(row, fh, sort_keys=True, separators=(",", ":"))
+            json.dump(data, fh, sort_keys=True, separators=(",", ":"))
         os.replace(tmp, path)
+
+    def get(self, digest: str, app_key: str, scheme: str, seed: int) -> Optional[Dict]:
+        return self._read(self.path(digest, app_key, scheme, seed))
+
+    def put(self, digest: str, app_key: str, scheme: str, seed: int, row: Dict) -> None:
+        self._write(self.path(digest, app_key, scheme, seed), row)
+
+    def get_timeline(
+        self, digest: str, app_key: str, scheme: str, seed: int
+    ) -> Optional[Dict]:
+        return self._read(self.timeline_path(digest, app_key, scheme, seed))
+
+    def put_timeline(
+        self, digest: str, app_key: str, scheme: str, seed: int, timeline: Dict
+    ) -> None:
+        self._write(self.timeline_path(digest, app_key, scheme, seed), timeline)
+
+
+def timeline_filename(app_key: str, scheme: str, seed: int) -> str:
+    """Deterministic per-case timeline file name (CaseCache sanitation
+    plus collision tag, with the ``.timeline.json`` suffix)."""
+    raw = f"{app_key}__{scheme}__{seed}"
+    tag = hashlib.blake2b(raw.encode("utf-8"), digest_size=6).hexdigest()
+    return f"{_UNSAFE.sub('_', raw)}-{tag}.timeline.json"
+
+
+def _write_timeline_file(
+    dirname: str, app_key: str, scheme: str, seed: int, timeline: Dict[str, Any]
+) -> str:
+    """Persist one case timeline under ``dirname`` (atomic, canonical
+    bytes — serial/parallel/resumed sweeps write identical files)."""
+    os.makedirs(dirname, exist_ok=True)
+    path = os.path.join(dirname, timeline_filename(app_key, scheme, seed))
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(dumps_timeline(timeline) + "\n")
+    os.replace(tmp, path)
+    return path
 
 
 # -- streaming artifact writer ------------------------------------------------
@@ -312,6 +373,7 @@ def run_sweep(
     compact: Optional[bool] = None,
     resume_dir: Optional[str] = None,
     max_cases: Optional[int] = None,
+    timelines_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run a scenario's matrix, optionally in parallel, resumably.
 
@@ -326,11 +388,24 @@ def run_sweep(
     run).  With ``out_path`` the artifact streams to disk row by row;
     ``compact`` picks the layout (None = automatic by sweep size, see
     :func:`~repro.results.io.dumps_artifact`).
+
+    With ``spec.telemetry`` set, every case also produces a QoS timeline
+    (see :mod:`repro.telemetry`); ``timelines_dir`` persists each one as
+    ``<dir>/<app>__<scheme>__<seed>-<tag>.timeline.json``.  Timelines
+    travel *beside* the artifact — the returned envelope and the row
+    schema are unchanged, so telemetry sweeps aggregate and compare
+    through :class:`repro.results.ResultSet` exactly like plain ones.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     if max_cases is not None and max_cases < 1:
         raise ValueError("max_cases must be >= 1")
+    telemetry_on = spec.telemetry is not None
+    if timelines_dir is not None and not telemetry_on:
+        raise ValueError(
+            "timelines_dir requires spec.telemetry (the scenario has no "
+            "QoS monitor to produce timelines)"
+        )
     # Fail fast on a bad matrix axis (typo'd app/scheme, ill-typed
     # params) before any case burns simulation time.
     for app in spec.matrix.apps:
@@ -344,11 +419,20 @@ def run_sweep(
     digest = spec_digest(spec)
     cache = CaseCache(resume_dir) if resume_dir else None
     cached: Dict[int, Dict[str, Any]] = {}
+    cached_timelines: Dict[int, Dict[str, Any]] = {}
     if cache is not None:
         for i, (app, scheme, seed) in enumerate(cases):
             row = cache.get(digest, app.key, scheme, seed)
-            if row is not None:
-                cached[i] = row
+            if row is None:
+                continue
+            if telemetry_on:
+                # A telemetry case is only "done" when both halves
+                # persisted; a row without its sidecar re-runs.
+                timeline = cache.get_timeline(digest, app.key, scheme, seed)
+                if timeline is None:
+                    continue
+                cached_timelines[i] = timeline
+            cached[i] = row
         stats["cache_hits"] += len(cached)
         stats["cache_misses"] += len(cases) - len(cached)
     missing = [(i, case) for i, case in enumerate(cases) if i not in cached]
@@ -360,7 +444,7 @@ def run_sweep(
     parallel = jobs > 1 and len(missing) > 1
 
     def _fresh() -> Iterator[Dict[str, Any]]:
-        """Missing-case rows in matrix order (imap preserves it)."""
+        """Missing-case payloads in matrix order (imap preserves it)."""
         if parallel:
             n_procs = min(jobs, len(missing))
             pool = _warm_pool(n_procs, spec, digest)
@@ -370,18 +454,29 @@ def run_sweep(
             )
         else:
             for _i, (app, scheme, seed) in missing:
-                yield case_to_dict(run_case(spec, app, scheme, seed))
+                yield _execute_case(spec, app, scheme, seed)
 
     rows: List[Dict[str, Any]] = []
     fresh = _fresh()
     try:
         for i, (app, scheme, seed) in enumerate(cases):
             row = cached.get(i)
+            timeline = cached_timelines.get(i)
             if row is None:
-                row = next(fresh)
+                payload = next(fresh)
+                if telemetry_on:
+                    row, timeline = payload["row"], payload["timeline"]
+                else:
+                    row = payload
                 stats["cases_run"] += 1
                 if cache is not None:
                     cache.put(digest, app.key, scheme, seed, row)
+                    if telemetry_on:
+                        cache.put_timeline(
+                            digest, app.key, scheme, seed, timeline)
+            if timeline is not None and timelines_dir is not None:
+                _write_timeline_file(
+                    timelines_dir, app.key, scheme, seed, timeline)
             rows.append(row)
             if writer is not None:
                 writer.write_row(row)

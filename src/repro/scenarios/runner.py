@@ -37,6 +37,7 @@ from repro.results.io import COMPACT_THRESHOLD, dumps_artifact  # noqa: F401
 from repro.results.model import CaseResult as ArtifactCase
 from repro.scenarios.events import EventDirector
 from repro.scenarios.spec import ScenarioSpec
+from repro.telemetry import QoSMonitor, TelemetrySnapshot, Timeline
 
 
 def scheme_factories(checkpoint_period_s: float = 300.0) -> Dict[str, Callable]:
@@ -93,6 +94,10 @@ class CaseResult:
     seed: int
     report: MetricsReport
     region_stopped: List[bool]
+    #: The sampled QoS timeline (None unless ``spec.telemetry`` is set).
+    #: Lives beside — never inside — the artifact row: rows keep the
+    #: strict :mod:`repro.results.model` schema.
+    timeline: Optional[Timeline] = None
 
     @property
     def recoveries(self) -> int:
@@ -129,22 +134,50 @@ def build_system(
     )
 
 
-def run_case(spec: ScenarioSpec, app: AppRefLike, scheme: str, seed: int) -> CaseResult:
-    """Build, script, run, and measure one case."""
+def run_case(
+    spec: ScenarioSpec,
+    app: AppRefLike,
+    scheme: str,
+    seed: int,
+    on_snapshot: Optional[Callable[[TelemetrySnapshot], None]] = None,
+) -> CaseResult:
+    """Build, script, run, and measure one case.
+
+    With ``spec.telemetry`` set, a :class:`~repro.telemetry.QoSMonitor`
+    samples the run and the result carries its timeline;
+    ``on_snapshot`` streams each live sample (the ``repro watch``
+    feed).  The monitor is read-only and draws no randomness, so the
+    metrics row is identical with telemetry on or off.
+    """
+    app_key = AppRef.coerce(app).key
     system = build_system(spec, app, scheme, seed)
+    monitor: Optional[QoSMonitor] = None
+    if spec.telemetry is not None:
+        monitor = QoSMonitor(
+            system.sim, system.trace, interval_s=spec.telemetry.interval_s,
+            meta={"scenario": spec.name, "app": app_key,
+                  "scheme": scheme, "seed": seed},
+        )
+        if on_snapshot is not None:
+            monitor.add_callback(on_snapshot)
+        system.attach_telemetry(monitor)
+        monitor.start()
     director = EventDirector(system, spec)
     director.install()
     system.start()
     director.schedule()
     system.run(spec.duration_s)
+    if monitor is not None:
+        monitor.finish()
     report = system.metrics(warmup_s=spec.warmup_s)
     return CaseResult(
         scenario=spec.name,
-        app=AppRef.coerce(app).key,
+        app=app_key,
         scheme=scheme,
         seed=seed,
         report=report,
         region_stopped=[r.stopped for r in system.regions],
+        timeline=monitor.timeline() if monitor is not None else None,
     )
 
 

@@ -115,6 +115,31 @@ class RegionSpec:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """Opt-in live QoS telemetry for a scenario's cases.
+
+    When present on a :class:`ScenarioSpec`, every case attaches a
+    :class:`repro.telemetry.QoSMonitor` sampling on ``interval_s`` of
+    virtual time, and sweeps can persist the per-case timelines
+    alongside the row artifact.  Absent (the default), no telemetry
+    machinery is built at all and artifacts stay byte-identical to
+    pre-telemetry runs.
+    """
+
+    #: Virtual-time sampling interval in seconds.
+    interval_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("telemetry interval must be positive")
+
+    def scaled(self, factor: float) -> "TelemetrySpec":
+        """Interval scaled with the scenario clock (a ``quick()`` copy
+        keeps its snapshot count, not its wall interval)."""
+        return dataclasses.replace(self, interval_s=self.interval_s * factor)
+
+
+@dataclass(frozen=True)
 class MatrixSpec:
     """The app × scheme × seed product a scenario sweeps.
 
@@ -184,6 +209,8 @@ class ScenarioSpec:
     #: The timed event script; scheduled in listed order.
     events: Tuple[EventSpec, ...] = ()
     matrix: MatrixSpec = field(default_factory=MatrixSpec)
+    #: Opt-in live QoS telemetry (None = off; see :class:`TelemetrySpec`).
+    telemetry: Optional[TelemetrySpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -198,6 +225,11 @@ class ScenarioSpec:
             raise ValueError("more region overrides than regions")
         object.__setattr__(self, "regions", tuple(self.regions))
         object.__setattr__(self, "events", tuple(self.events))
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, TelemetrySpec
+        ):
+            object.__setattr__(
+                self, "telemetry", TelemetrySpec(**dict(self.telemetry)))
         for ev in self.events:
             if not 0 <= ev.region < self.n_regions:
                 raise ValueError(f"event targets unknown region {ev.region}")
@@ -223,6 +255,8 @@ class ScenarioSpec:
             warmup_s=self.warmup_s * factor,
             checkpoint_period_s=self.checkpoint_period_s * factor,
             events=tuple(ev.scaled(factor) for ev in self.events),
+            telemetry=(None if self.telemetry is None
+                       else self.telemetry.scaled(factor)),
         )
 
     def quick(self, target_duration_s: float = 300.0) -> "ScenarioSpec":
@@ -233,11 +267,19 @@ class ScenarioSpec:
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-ready, lossless)."""
+        """Plain-dict form (JSON-ready, lossless).
+
+        The ``telemetry`` key is omitted entirely when unset — the same
+        convention that keeps param-free app refs bare strings — so
+        every pre-telemetry artifact, golden hash, and spec digest is
+        byte-identical to one produced by this code.
+        """
         d = dataclasses.asdict(self)
         d["regions"] = [dataclasses.asdict(r) for r in self.regions]
         d["events"] = [dataclasses.asdict(e) for e in self.events]
         d["matrix"] = self.matrix.to_dict()
+        if self.telemetry is None:
+            del d["telemetry"]
         return d
 
     @classmethod
@@ -256,6 +298,9 @@ class ScenarioSpec:
                 schemes=tuple(matrix.get("schemes", ("ms-8",))),
                 seeds=tuple(matrix.get("seeds", (3,))),
             )
+        telemetry = d.get("telemetry")
+        if telemetry is not None and not isinstance(telemetry, TelemetrySpec):
+            d["telemetry"] = TelemetrySpec(**telemetry)
         return cls(**d)
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -55,6 +55,10 @@ class Simulator:
         self._active_process: Optional[Process] = None
         #: Events processed so far (the perf subsystem's events/sec).
         self.events_processed = 0
+        #: When True, :meth:`run` keeps ``events_processed`` current on
+        #: every event instead of batch-flushing at loop exit — set by
+        #: live observers (telemetry) that sample mid-run.
+        self.count_inline = False
 
     # -- clock -----------------------------------------------------------
     @property
@@ -106,6 +110,38 @@ class Simulator:
         """
         return Callback(self, delay, fn, args)
 
+    def call_every(
+        self, interval: float, fn: Callable[..., None], *args: Any
+    ) -> Callable[[], None]:
+        """Run ``fn(*args)`` every ``interval`` seconds of virtual time,
+        starting one interval from now.  Returns a zero-argument cancel
+        function; after cancelling, no further calls fire (including one
+        already scheduled).
+
+        This is the sampling hook for periodic observers (telemetry):
+        each firing schedules only the next one, so a cancelled sampler
+        leaves at most one dead event behind.  An active sampler keeps
+        the queue non-empty forever — pair it with ``run(until=...)``
+        or cancel it before a final drain.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        cancelled = [False]
+
+        def _fire() -> None:
+            if cancelled[0]:
+                return
+            fn(*args)
+            if not cancelled[0]:
+                Callback(self, interval, _fire, ())
+
+        Callback(self, interval, _fire, ())
+
+        def cancel() -> None:
+            cancelled[0] = True
+
+        return cancel
+
     # -- scheduling --------------------------------------------------------
     def _schedule(
         self, event: Event, delay: float = 0.0, priority: int = NORMAL
@@ -150,8 +186,29 @@ class Simulator:
         # event): the method-call overhead, the per-event try/except, and
         # the repeated attribute lookups are measurable at millions of
         # events per run.  Semantics are identical to step().
+        #
+        # The counter is normally batched into a local and flushed once;
+        # with ``count_inline`` set (live telemetry attached) every event
+        # bumps the attribute so observers sampling mid-run see the true
+        # count.  The flag costs nothing when unset — it selects which
+        # loop runs, not a per-event branch.
         queue = self._queue
         heappop = heapq.heappop
+        if self.count_inline:
+            try:
+                while queue:
+                    self._now, _prio, _seq, event = heappop(queue)
+                    self.events_processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                if until is not None and self._now < until:
+                    self._now = until
+            except StopSimulation:
+                pass
+            return
         processed = 0
         try:
             while queue:

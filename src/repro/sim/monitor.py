@@ -14,7 +14,9 @@ metric derivation is O(matches), not O(all records x queries).
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.util.simlog import get_logger
 
 
 class TraceRecord:
@@ -45,9 +47,10 @@ class TraceRecord:
 class _CategoryIndex:
     """Per-category record store: parallel time list for window bisects."""
 
-    __slots__ = ("records", "times", "sorted")
+    __slots__ = ("records", "times", "sorted", "category")
 
-    def __init__(self) -> None:
+    def __init__(self, category: str = "") -> None:
+        self.category = category
         self.records: List[TraceRecord] = []
         self.times: List[float] = []
         #: Virtual time is monotone in practice; if a caller ever records
@@ -57,6 +60,15 @@ class _CategoryIndex:
     def append(self, rec: TraceRecord) -> None:
         times = self.times
         if times and rec.time < times[-1]:
+            if self.sorted:
+                # Once per category: losing the bisect path silently would
+                # hide an O(records) query cost *and* the likely caller
+                # bug (recording with a stale timestamp).
+                get_logger().warning(
+                    "trace category %r received an out-of-order record "
+                    "(%.6f after %.6f); windowed queries on it fall back "
+                    "to linear scans", self.category, rec.time, times[-1],
+                )
             self.sorted = False
         times.append(rec.time)
         self.records.append(rec)
@@ -118,6 +130,10 @@ class Trace:
         self.records: List[TraceRecord] = []
         self.counters: Dict[str, Counter] = {}
         self._by_category: Dict[str, _CategoryIndex] = {}
+        #: Live observers called with each appended record (telemetry).
+        #: Kept off the hot path: recording without observers costs one
+        #: truthiness check on this list.
+        self._observers: List[Callable[[TraceRecord], None]] = []
 
     def record(self, time: float, category: str, **data: Any) -> None:
         """Append a record (no-op when tracing is disabled)."""
@@ -127,9 +143,28 @@ class Trace:
         self.records.append(rec)
         index = self._by_category.get(category)
         if index is None:
-            index = _CategoryIndex()
+            index = _CategoryIndex(category)
             self._by_category[category] = index
         index.append(rec)
+        if self._observers:
+            for observer in self._observers:
+                observer(rec)
+
+    def add_observer(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Stream every future record to ``fn`` (read-only tap; called
+        synchronously inside :meth:`record`, so keep it cheap).  A
+        disabled trace records nothing and therefore observes nothing.
+        """
+        if fn in self._observers:
+            raise ValueError("observer already registered")
+        self._observers.append(fn)
+
+    def remove_observer(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Detach an observer (unknown observers are ignored)."""
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
 
     def counter(self, name: str) -> Counter:
         """Return (creating if needed) the counter called ``name``.

@@ -1,0 +1,127 @@
+"""Incremental statistics for live QoS sampling.
+
+Everything here is built to be *deterministic across processes*: the
+sweep executor promises byte-identical artifacts at any ``--jobs``
+level, and timeline artifacts ride that promise.  So there is no
+randomized sketching and no data-dependent marker movement (the reason
+we use fixed bins instead of the classic P² estimator, whose float
+marker heights drift with arrival order in ways that are exact only on
+one interleaving).  Counts are integers, rates are one division, and
+quantiles come from a fixed logarithmic grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+
+class RateTracker:
+    """A cumulative count that yields windowed rates on demand.
+
+    ``add`` accumulates on the hot path (one float add); ``sample``
+    closes the current window and returns the delta-per-second since
+    the previous ``sample`` call.
+    """
+
+    __slots__ = ("total", "_mark")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._mark = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` into the running total."""
+        self.total += amount
+
+    def set_total(self, total: float) -> None:
+        """Adopt an externally-maintained cumulative total (counter
+        mirroring: the hot path already increments a trace counter, so
+        the sampler reads it instead of double-counting)."""
+        self.total = total
+
+    def sample(self, dt: float) -> float:
+        """Rate over the window since the last sample (``delta / dt``)."""
+        if dt <= 0:
+            raise ValueError(f"window must be positive, got {dt}")
+        delta = self.total - self._mark
+        self._mark = self.total
+        return delta / dt
+
+
+class OnlineQuantile:
+    """Fixed-bin online quantile estimator over a logarithmic grid.
+
+    Observations land in log-spaced bins between ``lo`` and ``hi``
+    (clamping beyond the edges); ``quantile(q)`` walks the cumulative
+    counts to the nearest-rank bin and returns its geometric midpoint.
+    The relative error is bounded by the bin ratio — about 3.7% at the
+    default 64 bins per decade — which is plenty for a dashboard while
+    costing O(1) memory and zero floating-point drift: the state is a
+    vector of integer counts, so two processes that see the same values
+    in the same order (or any order!) report the same quantiles.
+
+    The exact mean/min/max are tracked alongside the grid.
+    """
+
+    __slots__ = ("lo", "hi", "bins_per_decade", "_nbins", "_counts",
+                 "count", "_sum", "min", "max")
+
+    def __init__(self, lo: float = 1e-3, hi: float = 1e4,
+                 bins_per_decade: int = 64) -> None:
+        if not 0 < lo < hi:
+            raise ValueError("need 0 < lo < hi")
+        if bins_per_decade < 1:
+            raise ValueError("bins_per_decade must be >= 1")
+        self.lo = lo
+        self.hi = hi
+        self.bins_per_decade = bins_per_decade
+        self._nbins = max(1, int(math.ceil(
+            math.log10(hi / lo) * bins_per_decade)))
+        self._counts: List[int] = [0] * self._nbins
+        self.count = 0
+        self._sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self._sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= self.lo:
+            idx = 0
+        else:
+            idx = int(math.log10(value / self.lo) * self.bins_per_decade)
+            if idx >= self._nbins:
+                idx = self._nbins - 1
+        self._counts[idx] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Exact running mean (None before any observation)."""
+        return self._sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile estimate (None before any observation)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = int(math.ceil(q * self.count))
+        seen = 0
+        for idx, c in enumerate(self._counts):
+            seen += c
+            if seen >= rank:
+                # Geometric midpoint of the bin, clamped by the exact
+                # extremes so tiny samples don't report impossible values.
+                mid = self.lo * 10.0 ** ((idx + 0.5) / self.bins_per_decade)
+                if self.min is not None:
+                    mid = max(mid, self.min)
+                if self.max is not None:
+                    mid = min(mid, self.max)
+                return mid
+        return self.max  # pragma: no cover - unreachable (counts sum = count)

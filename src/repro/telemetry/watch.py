@@ -1,0 +1,125 @@
+"""Rendering for ``python -m repro watch``: tables + ASCII sparklines.
+
+Pure string building over :class:`~repro.telemetry.timeline.Timeline`
+values — no simulator imports, no terminal control here beyond what the
+caller asks for.  The CLI decides between live-updating (ANSI clear
+between frames on a TTY) and append-only output (CI logs, pipes); both
+use the same :func:`render_frame`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.telemetry.timeline import TelemetrySnapshot, Timeline
+from repro.util.tables import format_table
+
+#: Eight-level block ramp (empty slot for "no data yet").
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+#: ANSI: clear screen + home (the live-watch frame reset).
+ANSI_CLEAR = "\x1b[H\x1b[2J"
+
+
+def sparkline(values: Sequence[Optional[float]], width: int = 40) -> str:
+    """Block-character sparkline of the last ``width`` values.
+
+    ``None`` entries (metric not yet defined) render as spaces; all
+    remaining values scale against the window maximum, so the line shows
+    shape, not absolute magnitude.
+    """
+    tail = list(values)[-width:] if width > 0 else list(values)
+    present = [v for v in tail if v is not None]
+    if not present:
+        return ""
+    top = max(present)
+    chars: List[str] = []
+    for v in tail:
+        if v is None:
+            chars.append(" ")
+        elif top <= 0:
+            chars.append(SPARK_CHARS[0])
+        else:
+            idx = int(v / top * (len(SPARK_CHARS) - 1) + 0.5)
+            chars.append(SPARK_CHARS[max(0, min(idx, len(SPARK_CHARS) - 1))])
+    return "".join(chars)
+
+
+def _fmt(value: Optional[float], spec: str = ".2f") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+def render_frame(timeline: Timeline, upto: Optional[int] = None,
+                 spark_width: int = 40) -> str:
+    """One full watch frame over ``timeline.snapshots[:upto]``.
+
+    Layout: a header line, per-region rows with a throughput sparkline
+    over the visible history, then the per-operator table from the
+    latest visible snapshot.
+    """
+    snaps = timeline.snapshots[:upto] if upto is not None else timeline.snapshots
+    header = (f"qos timeline — scenario={timeline.scenario or '-'} "
+              f"app={timeline.app or '-'} scheme={timeline.scheme or '-'} "
+              f"seed={timeline.seed}")
+    if not snaps:
+        return header + "\n(no snapshots)"
+    last = snaps[-1]
+    lines = [
+        header,
+        f"t={last.time:.1f}s  snapshots={len(snaps)}  "
+        f"interval={timeline.interval_s:g}s  "
+        f"events_processed={last.events_processed}",
+        "",
+    ]
+
+    region_rows = []
+    for name, sample in last.regions.items():
+        history = [s.regions[name].throughput_tps if name in s.regions
+                   else None for s in snaps]
+        region_rows.append([
+            name,
+            f"{sample.throughput_tps:.3f}",
+            _fmt(sample.latency_p50_s),
+            _fmt(sample.latency_p95_s),
+            f"{sample.checkpoints_committed}/{sample.checkpoints_started}",
+            f"{sample.recoveries}",
+            f"{sample.sink_outputs}",
+            sparkline(history, spark_width),
+        ])
+    lines.append(format_table(
+        ["region", "throughput t/s", "p50 s", "p95 s", "ckpt c/s",
+         "recov", "outputs", "history"],
+        region_rows))
+    lines.append("")
+
+    op_rows = []
+    for key, sample in last.operators.items():
+        op_rows.append([
+            key,
+            f"{sample.tuples}",
+            f"{sample.rate_tps:.3f}",
+            f"{sample.queue_depth}",
+        ])
+    lines.append(format_table(
+        ["operator", "tuples", "rate t/s", "queue"], op_rows))
+
+    net = last.net
+    lines.append("")
+    lines.append(
+        f"net: wifi {net.wifi_bytes_per_s:,.0f} B/s  "
+        f"cellular {net.cellular_bytes_per_s:,.0f} B/s  "
+        f"ft {net.ft_bytes_per_s:,.0f} B/s")
+    return "\n".join(lines)
+
+
+def render_progress_line(snapshot: TelemetrySnapshot) -> str:
+    """One-line per-sample progress (append-only mode: pipes, CI logs)."""
+    tput = sum(s.throughput_tps for s in snapshot.regions.values())
+    queued = sum(s.queue_depth for s in snapshot.operators.values())
+    return (f"[{snapshot.time:10.1f}s] throughput {tput:8.3f} t/s  "
+            f"queued {queued:4d}  events {snapshot.events_processed}")
+
+
+def replay_frames(timeline: Timeline, spark_width: int = 40):
+    """Yield successive frames of a saved timeline (``--replay``)."""
+    for i in range(1, len(timeline.snapshots) + 1):
+        yield render_frame(timeline, upto=i, spark_width=spark_width)

@@ -129,3 +129,75 @@ def test_count_of_rejects_unknown_window_kwargs():
     tr.record(1.0, "x")
     with pytest.raises(TypeError, match="sinse"):
         tr.count_of("x", sinse=0.5)
+
+
+def test_out_of_order_flip_warns_once_per_category(caplog):
+    """The first out-of-order record in a category logs one warning
+    (windowed queries on it degrade to linear scans); later ones and
+    other still-sorted categories stay quiet."""
+    tr = Trace()
+    tr.record(5.0, "x")
+    tr.record(6.0, "y")
+    with caplog.at_level("WARNING", logger="repro"):
+        tr.record(2.0, "x", i=1)  # flips x to unsorted: warns
+        tr.record(1.0, "x", i=2)  # already unsorted: silent
+        tr.record(7.0, "y")       # y still sorted: silent
+    warnings = [r for r in caplog.records if "out-of-order" in r.message]
+    assert len(warnings) == 1
+    assert "'x'" in warnings[0].message
+    assert "linear scan" in warnings[0].message
+
+
+def test_linear_scan_window_and_count_match_sorted_path():
+    """The unsorted fallback must answer windowed select/count exactly
+    like the bisect path does over the same (sorted) record set."""
+    times = [0.0, 1.5, 3.0, 4.5, 6.0, 7.5, 9.0]
+    sorted_tr, scan_tr = Trace(), Trace()
+    for t in times:
+        sorted_tr.record(t, "x", t=t)
+    # Same records, but one early-time insertion at the end flips the
+    # category's index to linear-scan mode.
+    for t in times[1:]:
+        scan_tr.record(t, "x", t=t)
+    scan_tr.record(times[0], "x", t=times[0])
+    for since, until in ((None, None), (1.5, 6.0), (2.0, 2.1), (9.0, None),
+                        (None, 0.0), (10.0, None)):
+        kwargs = {}
+        if since is not None:
+            kwargs["since"] = since
+        if until is not None:
+            kwargs["until"] = until
+        want = sorted({r.data["t"] for r in sorted_tr.select("x", **kwargs)})
+        got = sorted({r.data["t"] for r in scan_tr.select("x", **kwargs)})
+        assert got == want, (since, until)
+        assert scan_tr.count_of("x", **kwargs) == \
+            sorted_tr.count_of("x", **kwargs), (since, until)
+
+
+def test_observer_sees_every_record_in_order():
+    tr = Trace()
+    seen = []
+    tr.add_observer(seen.append)
+    tr.record(1.0, "a", i=0)
+    tr.record(2.0, "b", i=1)
+    assert [(r.time, r.category) for r in seen] == [(1.0, "a"), (2.0, "b")]
+
+
+def test_observer_remove_and_duplicate_registration():
+    tr = Trace()
+    seen = []
+    tr.add_observer(seen.append)
+    with pytest.raises(ValueError):
+        tr.add_observer(seen.append)
+    tr.remove_observer(seen.append)
+    tr.remove_observer(seen.append)  # unknown: ignored
+    tr.record(1.0, "a")
+    assert seen == []
+
+
+def test_observer_skipped_when_trace_disabled():
+    tr = Trace(enabled=False)
+    seen = []
+    tr.add_observer(seen.append)
+    tr.record(1.0, "a")
+    assert seen == []

@@ -1,0 +1,105 @@
+"""Tests for the incremental telemetry statistics."""
+
+import pytest
+
+from repro.telemetry import OnlineQuantile, RateTracker
+
+
+class TestRateTracker:
+    def test_add_and_sample(self):
+        rt = RateTracker()
+        rt.add(5.0)
+        rt.add(5.0)
+        assert rt.sample(2.0) == pytest.approx(5.0)
+
+    def test_sample_resets_window(self):
+        rt = RateTracker()
+        rt.add(10.0)
+        rt.sample(1.0)
+        assert rt.sample(1.0) == 0.0
+
+    def test_set_total_tracks_counter_deltas(self):
+        rt = RateTracker()
+        rt.set_total(100.0)
+        assert rt.sample(10.0) == pytest.approx(10.0)
+        rt.set_total(100.0)
+        assert rt.sample(10.0) == 0.0
+        rt.set_total(250.0)
+        assert rt.sample(10.0) == pytest.approx(15.0)
+
+    def test_nonpositive_window_raises(self):
+        rt = RateTracker()
+        with pytest.raises(ValueError):
+            rt.sample(0.0)
+
+
+class TestOnlineQuantile:
+    def test_empty(self):
+        oq = OnlineQuantile()
+        assert oq.count == 0
+        assert oq.quantile(0.5) is None
+        assert oq.mean is None
+
+    def test_single_value(self):
+        oq = OnlineQuantile()
+        oq.add(3.0)
+        assert oq.quantile(0.5) == pytest.approx(3.0, rel=0.05)
+        assert oq.mean == pytest.approx(3.0)
+
+    def test_extremes_within_bin_resolution(self):
+        oq = OnlineQuantile()
+        for v in (1.0, 2.0, 3.0):
+            oq.add(v)
+        assert oq.quantile(0.01) == pytest.approx(1.0, rel=0.05)
+        assert oq.quantile(1.0) == pytest.approx(3.0, rel=0.05)
+        assert oq.min == 1.0
+        assert oq.max == 3.0
+
+    def test_accuracy_on_uniform_values(self):
+        """Log-spaced bins put the nearest-rank answer within the bin
+        resolution (~4% at 64 bins/decade) of the true quantile."""
+        oq = OnlineQuantile()
+        values = [0.01 + i * (10.0 - 0.01) / 999 for i in range(1000)]
+        for v in values:
+            oq.add(v)
+        svals = sorted(values)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            true = svals[int(q * (len(svals) - 1))]
+            assert oq.quantile(q) == pytest.approx(true, rel=0.05)
+
+    def test_determinism_and_order_independence(self):
+        """Integer bin counts: same multiset of inputs, any order ->
+        bit-identical quantiles (the cross-process artifact promise)."""
+        a, b = OnlineQuantile(), OnlineQuantile()
+        vals = [(i * 7919 % 1000) / 100.0 + 0.001 for i in range(500)]
+        for v in vals:
+            a.add(v)
+        for v in reversed(vals):
+            b.add(v)
+        for q in (0.1, 0.5, 0.95):
+            assert a.quantile(q) == b.quantile(q)
+
+    def test_out_of_range_values_clamp_into_edge_bins(self):
+        oq = OnlineQuantile(lo=1e-3, hi=1e4)
+        oq.add(1e-9)
+        oq.add(1e9)
+        assert oq.count == 2
+        assert oq.min == 1e-9
+        assert oq.max == 1e9
+        # Small-q lands in the low edge bin (clamped from below by min).
+        assert oq.quantile(0.5) <= 2e-3
+        assert oq.quantile(1.0) >= 1e3
+
+    def test_invalid_quantile_raises(self):
+        oq = OnlineQuantile()
+        oq.add(1.0)
+        with pytest.raises(ValueError):
+            oq.quantile(1.5)
+        with pytest.raises(ValueError):
+            oq.quantile(0.0)
+
+    def test_invalid_construction_raises(self):
+        with pytest.raises(ValueError):
+            OnlineQuantile(lo=1.0, hi=0.5)
+        with pytest.raises(ValueError):
+            OnlineQuantile(bins_per_decade=0)

@@ -1,0 +1,110 @@
+"""Tests for watch rendering (pure string building)."""
+
+from repro.telemetry import (
+    NetSample,
+    OperatorSample,
+    RegionSample,
+    TelemetrySnapshot,
+    Timeline,
+    render_frame,
+    render_progress_line,
+    sparkline,
+)
+from repro.telemetry.watch import replay_frames
+
+
+def _snapshot(t: float, tput: float) -> TelemetrySnapshot:
+    return TelemetrySnapshot(
+        time=t,
+        events_processed=int(t * 10),
+        regions={"region0": RegionSample(
+            throughput_tps=tput, latency_p50_s=0.5, latency_p95_s=1.25,
+            latency_mean_s=0.6, sink_outputs=int(t), source_inputs=int(2 * t),
+            checkpoints_started=2, checkpoints_committed=1,
+            recoveries=1, crashes=3,
+        )},
+        operators={"region0.S": OperatorSample(tuples=7, rate_tps=0.7,
+                                               queue_depth=4)},
+        net=NetSample(wifi_bytes_per_s=2048.0, cellular_bytes_per_s=10.0,
+                      ft_bytes_per_s=512.0),
+    )
+
+
+def _timeline(n: int = 5) -> Timeline:
+    return Timeline(
+        scenario="demo", app="bcp", scheme="ms-8", seed=3, interval_s=10.0,
+        snapshots=tuple(_snapshot(10.0 * (i + 1), float(i)) for i in range(n)),
+    )
+
+
+class TestSparkline:
+    def test_scales_to_window_max(self):
+        line = sparkline([0.0, 1.0, 2.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_none_renders_as_space(self):
+        assert sparkline([None, 1.0])[0] == " "
+
+    def test_empty_and_all_none(self):
+        assert sparkline([]) == ""
+        assert sparkline([None, None]) == ""
+
+    def test_width_keeps_tail(self):
+        line = sparkline([0.0] * 50 + [9.0], width=10)
+        assert len(line) == 10
+        assert line[-1] == "█"
+
+    def test_all_zero(self):
+        assert sparkline([0.0, 0.0]) == "▁▁"
+
+
+class TestRenderFrame:
+    def test_header_and_tables(self):
+        frame = render_frame(_timeline())
+        assert "scenario=demo" in frame
+        assert "app=bcp scheme=ms-8 seed=3" in frame
+        assert "region0" in frame
+        assert "region0.S" in frame
+        assert "1/2" in frame  # ckpt committed/started
+        assert "net: wifi 2,048 B/s" in frame
+
+    def test_upto_limits_history(self):
+        tl = _timeline(5)
+        frame = render_frame(tl, upto=2)
+        assert "t=20.0s" in frame
+        assert "snapshots=2" in frame
+
+    def test_empty_timeline(self):
+        frame = render_frame(Timeline("demo", "bcp", "ms-8", 3, 10.0))
+        assert "(no snapshots)" in frame
+
+    def test_none_latency_renders_dash(self):
+        snap = TelemetrySnapshot(
+            time=10.0, events_processed=1,
+            regions={"region0": RegionSample(
+                throughput_tps=0.0, latency_p50_s=None, latency_p95_s=None,
+                latency_mean_s=None, sink_outputs=0, source_inputs=0,
+                checkpoints_started=0, checkpoints_committed=0,
+                recoveries=0, crashes=0)},
+        )
+        tl = Timeline("demo", "bcp", "ms-8", 3, 10.0, (snap,))
+        row = [ln for ln in render_frame(tl).splitlines()
+               if ln.startswith("region0")][0]
+        assert "| -" in row
+
+
+def test_progress_line():
+    line = render_progress_line(_snapshot(30.0, 1.5))
+    assert "[" in line and "30.0s]" in line
+    assert "1.500 t/s" in line
+    assert "queued    4" in line
+    assert "events 300" in line
+
+
+def test_replay_frames_progressive():
+    frames = list(replay_frames(_timeline(3)))
+    assert len(frames) == 3
+    assert "snapshots=1" in frames[0]
+    assert "snapshots=3" in frames[2]
