@@ -41,6 +41,10 @@ SENSOR = "__sensor__"
 class PeriodicCheckpointScheme(FaultToleranceScheme):
     """Base class: per-node periodic checkpoints + input preservation."""
 
+    #: Uncoordinated checkpoints bound the loss to one period of input;
+    #: the emit-key dedup keeps replays duplication-free at the sinks.
+    delivery_contract = "bounded-loss"
+
     def __init__(self, period_s: float = 300.0) -> None:
         super().__init__()
         if period_s <= 0:

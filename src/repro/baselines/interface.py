@@ -36,6 +36,10 @@ class FaultToleranceScheme:
     replication_factor: int = 1
     #: Whether the controller should drive a periodic checkpoint clock.
     wants_checkpoint_clock: bool = False
+    #: The recovery promise the invariant harness enforces — a name from
+    #: :data:`repro.verify.contracts.CONTRACTS`.  ``"none"`` (the
+    #: default) opts out of delivery checking entirely.
+    delivery_contract: str = "none"
 
     def __init__(self) -> None:
         self.region: Optional["Region"] = None

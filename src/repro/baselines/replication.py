@@ -37,6 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover
 class ActiveStandby(FaultToleranceScheme):
     """k replicated dataflow chains (default k=2, the paper's rep-2)."""
 
+    #: Replication loses nothing while a chain survives, but makes no
+    #: recovery promise — the harness only checks sink dedup holds.
+    delivery_contract = "duplication-free"
+
     def __init__(self, k: int = 2, takeover_delay_s: float = 0.5) -> None:
         super().__init__()
         if k < 2:

@@ -45,6 +45,9 @@ class MobiStreamsScheme(FaultToleranceScheme):
     """Token-triggered + broadcast-based checkpointing."""
 
     wants_checkpoint_clock = True
+    #: Section III-D's claim, mechanized by :mod:`repro.verify`: no loss
+    #: and no duplication across crash/recovery epochs.
+    delivery_contract = "exactly-once"
 
     def __init__(
         self,
@@ -177,6 +180,9 @@ class MobiStreamsScheme(FaultToleranceScheme):
 
     def _on_checkpoint_complete(self, version: int) -> None:
         self.preservation.on_checkpoint_complete(version)
+        # Token FIFO-ness means no pre-`version` token can still arrive;
+        # archive the tracker's bookkeeping so it stays O(live waves).
+        self.tokens.prune_abandoned(version)
         self.trace.record(
             self.sim.now, "checkpoint_complete", region=self.region.name,
             version=version,
@@ -190,7 +196,7 @@ class MobiStreamsScheme(FaultToleranceScheme):
         self.count_preserved(tup.size)
 
     def _abandon_inflight_checkpoint(self) -> None:
-        """Write off a checkpoint wave interrupted by a membership change.
+        """Write off every checkpoint wave interrupted by a membership change.
 
         "If failures happen during a checkpoint is being performed, the
         DSPS can be still recovered as above, just ignoring the partial
@@ -198,18 +204,29 @@ class MobiStreamsScheme(FaultToleranceScheme):
         departures and handoffs: a downstream join might otherwise wait
         (with channels blocked) for a token the departed node will never
         forward.
+
+        *Every* pending wave above the MRC is abandoned, not just the
+        newest: slow async saves let several waves be in flight at once,
+        and a wave left pending here could complete *mid-recovery* —
+        advancing the MRC and dropping preservation segments after the
+        recovery already chose its restore point, so the catch-up replay
+        would silently skip the dropped input (observed as a replay-gap
+        invariant violation; the recovery would lose tuples).
         """
-        version = self._version
-        if version <= self.store.mrc_version or self.store.is_complete(version):
-            return
-        self.tokens.abandon(version)
-        self.store.abandon_version(version)
-        for node in self.region.nodes.values():
-            node.unblock_all()
-        self.trace.record(
-            self.sim.now, "checkpoint_abandoned", region=self.region.name,
-            version=version,
-        )
+        abandoned = False
+        for version in range(self.store.mrc_version + 1, self._version + 1):
+            if not self.store.is_pending(version):
+                continue
+            self.tokens.abandon(version)
+            self.store.abandon_version(version)
+            abandoned = True
+            self.trace.record(
+                self.sim.now, "checkpoint_abandoned", region=self.region.name,
+                version=version,
+            )
+        if abandoned:
+            for node in self.region.nodes.values():
+                node.unblock_all()
 
     # -- failure recovery (Section III-D) ----------------------------------------
     def on_failure(self, failed_ids: List[str]):

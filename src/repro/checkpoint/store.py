@@ -90,6 +90,12 @@ class CheckpointStore:
         """The newest complete version (0 = initial, pre-checkpoint state)."""
         return max(self._complete) if self._complete else 0
 
+    def is_pending(self, version: int) -> bool:
+        """Whether ``version`` was begun and is still collecting saves —
+        i.e. it could yet complete.  False once abandoned (the
+        participant set is dropped) and for never-begun versions."""
+        return version in self._needed and version not in self._complete
+
     def is_complete(self, version: int) -> bool:
         """Whether every participant saved its state for ``version``."""
         return version in self._complete

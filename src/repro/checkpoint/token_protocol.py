@@ -19,6 +19,10 @@ class TokenTracker:
         self._seen: Dict[Tuple[str, int], Set[Any]] = defaultdict(set)
         self._done: Set[Tuple[str, int]] = set()
         self._abandoned: Set[int] = set()
+        #: Versions below the floor are archived: tokens travel in-band
+        #: (FIFO), so once checkpoint ``w`` completes no token of any
+        #: ``v < w`` can still arrive — their bookkeeping is prunable.
+        self._floor = 0
 
     def record(self, node_id: str, version: int, channel: Any, expected: Set[Any]) -> bool:
         """Register a token from ``channel``; True when the set is complete.
@@ -27,7 +31,7 @@ class TokenTracker:
         into readiness — so the caller snapshots exactly once even if a
         duplicate token arrives.
         """
-        if version in self._abandoned:
+        if self.is_abandoned(version):
             return False
         key = (node_id, version)
         if key in self._done:
@@ -68,8 +72,26 @@ class TokenTracker:
             del self._seen[key]
 
     def is_abandoned(self, version: int) -> bool:
-        """Whether ``version``'s wave was written off."""
-        return version in self._abandoned
+        """Whether ``version``'s wave was written off (explicitly
+        abandoned, or archived below the prune floor — either way a
+        late token of it must be ignored, not blocked on)."""
+        return version < self._floor or version in self._abandoned
+
+    def prune_abandoned(self, before_version: int) -> None:
+        """Archive all bookkeeping below ``before_version``.
+
+        Called when checkpoint ``before_version`` completes: in-band
+        FIFO ordering guarantees no earlier version's token can still be
+        in flight, so per-version sets stop growing with run length.
+        :meth:`is_abandoned` keeps answering True for archived versions.
+        """
+        if before_version <= self._floor:
+            return
+        self._floor = before_version
+        self._abandoned = {v for v in self._abandoned if v >= before_version}
+        for key in [k for k in self._seen if k[1] < before_version]:
+            del self._seen[key]
+        self._done = {k for k in self._done if k[1] >= before_version}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<TokenTracker pending={len(self._seen)} done={len(self._done)}>"

@@ -33,6 +33,13 @@ Commands
     ``BENCH_<suite>.json`` artifacts, ``compare`` a run against the
     committed baseline with a regression threshold (non-zero exit on
     regression — the CI perf-smoke gate).
+``fuzz``
+    Property-based scenario fuzzing (see :mod:`repro.verify`): ``gen``
+    writes a seed's deterministic spec walk as JSON files, ``run``
+    executes it with the invariant harness armed (non-zero exit on any
+    violation), ``shrink`` delta-debugs a failing spec file down to a
+    minimal reproducer that re-triggers via
+    ``scenario run <file> --verify``.
 ``info``
     List the available applications, schemes, and the paper's reference
     numbers.
@@ -57,6 +64,10 @@ Examples
     python -m repro app show edgeml
     python -m repro perf run --quick
     python -m repro perf compare --threshold 0.25
+    python -m repro scenario run paper-fig8 --quick --verify
+    python -m repro fuzz run --seed 7 --count 20 --budget-s 60
+    python -m repro fuzz shrink failing.json --out minimal.json
+    python -m repro scenario run minimal.json --verify
     python -m repro info
 """
 
@@ -127,13 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     scen_sub = scen_p.add_subparsers(dest="scenario_command", required=True)
     scen_sub.add_parser("list", help="list the registered scenarios")
     show_p = scen_sub.add_parser("show", help="print one scenario spec as JSON")
-    show_p.add_argument("name")
+    show_p.add_argument("name",
+                        help="a registered scenario name or a spec JSON file")
     for verb, help_text in (
         ("run", "run a scenario's matrix and print a results table"),
         ("sweep", "run a scenario's matrix and write a JSON artifact"),
     ):
         p = scen_sub.add_parser(verb, help=help_text)
-        p.add_argument("name")
+        p.add_argument("name",
+                       help="a registered scenario name or a spec JSON file "
+                            "(e.g. a fuzz reproducer)")
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes (default 1 = serial)")
         p.add_argument("--quick", action="store_true",
@@ -165,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECS",
                        help="telemetry sampling interval in simulated "
                             "seconds (default 10)")
+        p.add_argument("--verify", action="store_true",
+                       help="arm the recovery-invariant harness on every "
+                            "case; violations print to stderr and the "
+                            "exit status is 1 if any fired")
 
     watch_p = sub.add_parser(
         "watch", help="live QoS telemetry: watch a scenario case or "
@@ -262,6 +280,44 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="NAME", default=None,
                           help="compare only this suite (repeatable)")
 
+    fuzz_p = sub.add_parser(
+        "fuzz", help="property-based scenario fuzzing with invariants armed")
+    fuzz_sub = fuzz_p.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_gen = fuzz_sub.add_parser(
+        "gen", help="write a seed's deterministic spec walk as JSON files")
+    fuzz_gen.add_argument("--seed", type=int, default=0,
+                          help="walk seed (default 0); same seed, same bytes")
+    fuzz_gen.add_argument("--count", type=int, default=20,
+                          help="number of specs to generate (default 20)")
+    fuzz_gen.add_argument("--out-dir", default="fuzz-specs", metavar="DIR",
+                          help="spec directory (default fuzz-specs)")
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="generate and execute a walk with the harness armed")
+    fuzz_run.add_argument("--seed", type=int, default=0,
+                          help="walk seed (default 0)")
+    fuzz_run.add_argument("--count", type=int, default=20,
+                          help="specs in the walk (default 20)")
+    fuzz_run.add_argument("--budget-s", type=float, default=None,
+                          metavar="SECS",
+                          help="wall budget: stop starting new specs after "
+                               "this many seconds (generation is unaffected)")
+    fuzz_run.add_argument("--out-dir", default=None, metavar="DIR",
+                          help="write each failing spec (and its shrunk "
+                               "reproducer) here")
+    fuzz_run.add_argument("--no-shrink", action="store_true",
+                          help="report failures without minimizing them")
+    fuzz_shrink = fuzz_sub.add_parser(
+        "shrink", help="delta-debug a failing spec file to a minimal one")
+    fuzz_shrink.add_argument("spec", help="failing spec JSON file")
+    fuzz_shrink.add_argument("--invariant", default=None, metavar="NAME",
+                             help="preserve this invariant (default: any "
+                                  "the input violates)")
+    fuzz_shrink.add_argument("--max-runs", type=int, default=200,
+                             help="cap on verification re-runs (default 200)")
+    fuzz_shrink.add_argument("--out", default=None, metavar="FILE",
+                             help="minimized spec path "
+                                  "(default <spec>.min.json)")
+
     sub.add_parser("info", help="list apps, schemes, paper numbers")
     return parser
 
@@ -331,14 +387,33 @@ def cmd_scenario(args) -> int:
             rows, title=f"{len(rows)} registered scenarios"))
         return 0
 
-    try:
-        spec = scenarios.get(args.name)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+    import os
+
+    if os.path.isfile(args.name):
+        # A spec JSON file (a fuzz reproducer, a hand-written scenario)
+        # works everywhere a registered name does.
+        from repro.scenarios import ScenarioSpec
+
+        try:
+            with open(args.name, encoding="utf-8") as fh:
+                spec = ScenarioSpec.from_json(fh.read())
+        except (ValueError, TypeError, OSError) as exc:
+            print(f"error: cannot load spec file {args.name}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        try:
+            spec = scenarios.get(args.name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
 
     if args.scenario_command == "show":
         print(spec.to_json(indent=2))
+        for ev in spec.late_events():
+            print(f"warning: {ev.kind} event at t={ev.time:g}s is at/past "
+                  f"duration_s={spec.duration_s:g} and never fires",
+                  file=sys.stderr)
         return 0
 
     # run / sweep
@@ -368,7 +443,23 @@ def cmd_scenario(args) -> int:
     result = scenarios.run_sweep(spec, jobs=args.jobs, out_path=args.out,
                                  compact=compact, resume_dir=resume_dir,
                                  max_cases=args.max_cases,
-                                 timelines_dir=timelines_dir)
+                                 timelines_dir=timelines_dir,
+                                 verify=args.verify)
+    violations = result.get("violations", []) if args.verify else []
+    if args.verify:
+        for v in violations:
+            print(f"VIOLATION [{v.get('invariant')}] "
+                  f"app={v.get('app')} scheme={v.get('scheme')} "
+                  f"seed={v.get('seed')} t={v.get('time', 0.0):.3f}s: "
+                  f"{v.get('message')}", file=sys.stderr)
+            for rec in (v.get("window") or [])[-5:]:
+                extras = " ".join(
+                    f"{k}={rec[k]}" for k in rec
+                    if k not in ("time", "category"))
+                print(f"    | t={rec.get('time', 0.0):9.3f} "
+                      f"{rec.get('category')} {extras}", file=sys.stderr)
+        print(f"verify: {len(violations)} violation(s) across "
+              f"{result['n_cases']} case(s)", file=sys.stderr)
     if resume_dir:
         hits = executor.stats["cache_hits"] - hits_before
         print(f"resume cache: {hits}/{result['n_cases']} case(s) reused "
@@ -376,12 +467,13 @@ def cmd_scenario(args) -> int:
     if timelines_dir:
         print(f"telemetry timelines -> {timelines_dir}/", file=sys.stderr)
     rs = ResultSet.from_sweep(result)
+    failed = bool(violations)
     if args.scenario_command == "sweep" and args.out:
         print(f"{len(rs)} cases -> {args.out}")
-        return 0
+        return 1 if failed else 0
     if args.scenario_command == "sweep":
         print(rs.to_json(compact=compact))
-        return 0
+        return 1 if failed else 0
     rows = []
     for case in rs:
         first = case.first_region
@@ -397,7 +489,7 @@ def cmd_scenario(args) -> int:
         ["app", "scheme", "seed", "tput t/s", "e2e lat s",
          "recoveries", "departures", "outcome"],
         rows, title=f"scenario {spec.name} — {len(rs)} cases"))
-    return 1 if any(case.stopped for case in rs) else 0
+    return 1 if failed or any(case.stopped for case in rs) else 0
 
 
 def cmd_app(args) -> int:
@@ -609,6 +701,97 @@ def cmd_perf(args) -> int:
     )
 
 
+def cmd_fuzz(args) -> int:
+    import os
+
+    # ``repro.verify`` re-exports the fuzz() *function*, which shadows
+    # the submodule attribute on the package — go through sys.modules.
+    import repro.verify.fuzz  # noqa: F401  (registers the submodule)
+    fuzz_mod = sys.modules["repro.verify.fuzz"]
+
+    if args.fuzz_command == "shrink":
+        from repro.verify.shrink import shrink
+
+        try:
+            spec = fuzz_mod.load_spec(args.spec)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error: cannot load spec file {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            minimized, runs = shrink(
+                spec, invariant=args.invariant, max_runs=args.max_runs,
+                on_progress=lambda n, cand: print(
+                    f"  run {n}: still failing with {len(cand.events)} "
+                    f"event(s), duration {cand.duration_s:g}s",
+                    file=sys.stderr),
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        base = args.spec[:-5] if args.spec.endswith(".json") else args.spec
+        out = args.out or f"{base}.min.json"
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(minimized.to_json(indent=2) + "\n")
+        print(f"shrunk {len(spec.events)} -> {len(minimized.events)} "
+              f"event(s), duration {spec.duration_s:g}s -> "
+              f"{minimized.duration_s:g}s in {runs} run(s)")
+        print(f"minimal reproducer -> {out}")
+        print(f"re-trigger with: python -m repro scenario run {out} --verify")
+        return 0
+
+    if args.count < 1:
+        print("error: --count must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.fuzz_command == "gen":
+        specs = fuzz_mod.generate_specs(args.seed, args.count)
+        paths = fuzz_mod.write_specs(specs, args.out_dir)
+        print(f"{len(paths)} spec(s) -> {args.out_dir}/")
+        return 0
+
+    # run
+    def on_progress(i, spec, failed) -> None:
+        app = spec.matrix.apps[0].key
+        scheme = spec.matrix.schemes[0]
+        status = "FAIL" if failed else "ok"
+        print(f"[{i + 1}/{args.count}] {spec.name} "
+              f"({app} x {scheme}, {spec.duration_s:g}s, "
+              f"{len(spec.events)} event(s)) {status}", file=sys.stderr)
+
+    results, executed = fuzz_mod.fuzz(
+        args.seed, args.count, budget_s=args.budget_s,
+        on_progress=on_progress)
+    failing = [r for r in results if r.failed]
+    for entry in fuzz_mod.dump_violations(failing):
+        print(f"VIOLATION [{entry['invariant']}] spec={entry['spec']} "
+              f"scheme={entry['scheme']} t={entry.get('time', 0.0):.3f}s: "
+              f"{entry['message']}", file=sys.stderr)
+
+    if failing and args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        fuzz_mod.write_specs([r.spec for r in failing], args.out_dir)
+        if not args.no_shrink:
+            from repro.verify.shrink import shrink
+
+            for r in failing:
+                try:
+                    minimized, runs = shrink(r.spec)
+                except ValueError:
+                    continue
+                path = os.path.join(args.out_dir, f"{minimized.name}.json")
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(minimized.to_json(indent=2) + "\n")
+                print(f"minimal reproducer -> {path} ({runs} shrink run(s))",
+                      file=sys.stderr)
+
+    skipped = args.count - executed
+    budget_note = f" ({skipped} skipped by --budget-s)" if skipped else ""
+    print(f"fuzz seed={args.seed}: {executed}/{args.count} spec(s) "
+          f"executed{budget_note}, {len(failing)} failing")
+    return 1 if failing else 0
+
+
 def cmd_info(args) -> int:
     print("applications (see `repro app list`):")
     for entry in app_registry.all_apps():
@@ -635,7 +818,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return {"run": cmd_run, "bench": cmd_bench, "scenario": cmd_scenario,
             "watch": cmd_watch, "report": cmd_report, "app": cmd_app,
-            "perf": cmd_perf, "info": cmd_info}[args.command](args)
+            "perf": cmd_perf, "fuzz": cmd_fuzz,
+            "info": cmd_info}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

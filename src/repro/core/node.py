@@ -274,6 +274,13 @@ class NodeRuntime:
         # (preserved) tuples may carry a stale key from their first pass,
         # and keys must regenerate identically for dedup to fire.
         tup.emit_key = None
+        # Exactly one record per on_source_ingest call (replays included):
+        # the delivery ledger of the invariant harness mirrors the
+        # preservation store through this 1:1 correspondence.
+        self.region.trace.record(
+            self.sim.now, "source_ingest", region=self.region.name,
+            node=self.id, op=op_name, seq=tup.source_seq,
+        )
         self.region.scheme.on_source_ingest(self, op_name, tup)
         if forward_copies and self.region.placement.replication_factor > 1:
             # Feed the other chains' source replicas (replication traffic).

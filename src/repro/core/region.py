@@ -40,6 +40,7 @@ from repro.net.cellular import CellularNetwork, UnknownEndpoint
 from repro.net.packet import Message
 from repro.net.wifi import Unreachable, WifiCell
 from repro.sim.events import Event
+from repro.util.simlog import get_logger
 from repro.util.units import KB, Mbps
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -140,6 +141,8 @@ class Region:
         self.urgent_links: Set[Tuple[str, str]] = set()
         #: Phones that already filed a chronic-battery self-report.
         self._battery_reported: Set[str] = set()
+        #: One-time warning latch for departures of dead/departed phones.
+        self._warned_dead_departure = False
 
     # -- wiring -------------------------------------------------------------
     def bind_workload(self, op_name: str, workload: Iterable) -> None:
@@ -477,6 +480,10 @@ class Region:
             # Catch-up results are discarded "so as not to pollute other
             # regions" (Section III-D).
             self.trace.count(f"{self.name}.sink_discarded")
+            self.trace.record(
+                self.sim.now, "sink_discard", region=self.name, op=op_name,
+                reason="replay",
+            )
             return
         if tup.emit_key is not None:
             # Deduplicate across replica chains and post-recovery
@@ -484,6 +491,10 @@ class Region:
             key = (op_name, tup.emit_key)
             if key in self._sink_seen:
                 self.trace.count(f"{self.name}.sink_discarded")
+                self.trace.record(
+                    self.sim.now, "sink_discard", region=self.name, op=op_name,
+                    reason="duplicate",
+                )
                 return
             self._sink_seen.add(key)
         self.trace.record(
@@ -494,6 +505,7 @@ class Region:
             entered_at=tup.entered_at,
             latency=self.sim.now - tup.entered_at,
             seq=tup.source_seq,
+            key=tup.emit_key,
         )
         self.trace.count(f"{self.name}.sink_outputs")
         for downstream in self._downstream:
@@ -561,9 +573,24 @@ class Region:
         )
 
     def apply_departure(self, phone_id: str) -> None:
-        """A phone walks out of the region: WiFi breaks, phone stays alive."""
+        """A phone walks out of the region: WiFi breaks, phone stays alive.
+
+        Departing a phone that is already dead or gone is a graceful
+        no-op (a scripted departure can race an organic crash); it is
+        counted and warned about once per region so a scenario whose
+        events mostly target corpses is visible.
+        """
         phone = self.phones.get(phone_id)
         if phone is None or not phone.alive:
+            if not self._warned_dead_departure:
+                get_logger().warning(
+                    "region %s: departure of dead/absent phone %r at "
+                    "t=%.3fs is a no-op (warning once; see the "
+                    "%s.departures_skipped_dead counter)",
+                    self.name, phone_id, self.sim.now, self.name,
+                )
+                self._warned_dead_departure = True
+            self.trace.count(f"{self.name}.departures_skipped_dead")
             return
         self.wifi.leave(phone_id)
         self.trace.record(self.sim.now, "phone_departed", region=self.name, phone=phone_id)

@@ -110,6 +110,7 @@ class MobiStreamsSystem:
         self.controller = Controller(self.sim, self.cellular, self.trace, config.controller)
         self.injector = FailureInjector(self.sim, trace=self.trace)
         self.injector.on_crash(self._apply_crash)
+        self.injector.on_liveness(self._phone_alive)
         self.regions: List[Region] = []
         self.schemes: List[Any] = []
         self.areas: List[RegionArea] = []
@@ -185,6 +186,21 @@ class MobiStreamsSystem:
         if region is None:
             raise KeyError(f"unknown phone {phone_id!r}")
         region.apply_crash(phone_id, reason)
+
+    def _phone_alive(self, phone_id: str) -> bool:
+        """Injector liveness probe.  Unknown ids report True so the
+        crash handler still raises its KeyError for typos; dead or
+        departed phones report False (the injection is a no-op).  A
+        departing computing phone stays in ``region.phones`` while the
+        scheme hands its operators off, but it already left the WiFi
+        cell — membership is what "present in the region" means (the
+        same definition :meth:`Region.alive_phone_ids` uses)."""
+        region = self._phone_region.get(phone_id)
+        if region is None:
+            return True
+        phone = region.phones.get(phone_id)
+        return (phone is not None and phone.alive
+                and region.wifi.is_member(phone_id))
 
     def apply_departure(self, phone_id: str) -> None:
         """A phone physically leaves its region (mobility)."""

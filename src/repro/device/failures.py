@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
+from repro.util.simlog import get_logger
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
     from repro.sim.monitor import Trace
@@ -58,11 +60,21 @@ class FailureInjector:
         self.sim = sim
         self.trace = trace
         self._crash_handler: Optional[Callable[[str, str], None]] = None
+        self._liveness: Optional[Callable[[str], bool]] = None
+        self._warned_dead = False
         self.injected: List[FailureEvent] = []
 
     def on_crash(self, handler: Callable[[str, str], None]) -> None:
         """Register ``handler(phone_id, reason)`` to apply crashes."""
         self._crash_handler = handler
+
+    def on_liveness(self, probe: Callable[[str], bool]) -> None:
+        """Register ``probe(phone_id) -> bool`` saying whether a phone is
+        still alive.  With a probe installed, firing a crash against an
+        already-dead (or departed) phone becomes a logged no-op instead
+        of reaching the handler.  Probes should return True for *unknown*
+        ids so typos still fail loudly in the handler."""
+        self._liveness = probe
 
     # -- schedules ----------------------------------------------------------
     def crash_at(self, time: float, phone_ids: Sequence[str], reason: str = "injected") -> None:
@@ -102,6 +114,21 @@ class FailureInjector:
             self.injected.append(FailureEvent(t, pid, reason))
 
     def _fire(self, phone_id: str, reason: str) -> None:
+        if self._liveness is not None and not self._liveness(phone_id):
+            # Scripted double-kill (a cascade overlapping an organic
+            # battery death, a spec listing one phone twice): nothing to
+            # crash.  Warn once per injector so a mis-written scenario is
+            # visible without flooding the log.
+            if not self._warned_dead:
+                self._warned_dead = True
+                get_logger().warning(
+                    "injector: crash of already-dead/departed phone %r at "
+                    "t=%.3fs is a no-op (further skips logged silently)",
+                    phone_id, self.sim.now,
+                )
+            if self.trace is not None:
+                self.trace.count("failures.skipped_dead")
+            return
         if self.trace is not None:
             self.trace.record(self.sim.now, "failure_injected", phone=phone_id, reason=reason)
             self.trace.count("failures.injected")

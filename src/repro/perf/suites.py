@@ -647,12 +647,63 @@ def _telemetry_call_every(quick: bool) -> CaseFn:
     return run
 
 
+# -- verify (invariant harness) -----------------------------------------------
+@_register("verify", "paper-fig8/overhead")
+def _verify_overhead(quick: bool) -> CaseFn:
+    """Armed-invariant-harness overhead on a full scenario case.
+
+    Same protocol as the telemetry overhead case: the identical
+    (spec, app, scheme, seed) runs disarmed and armed in *interleaved*
+    pairs, per-arm minima are compared, and ``overhead_frac`` is
+    armed/disarmed minus one.  The scenario is paper-fig8 on ms-8 — the
+    checkpointing scheme is the one whose trace categories (per-tuple
+    source ingests included) the harness actually subscribes to, so it
+    is the worst case.  ``tests/perf/test_verify_overhead.py`` gates
+    the fraction at 10%; the standard compare gate bounds ``wall_s``.
+    """
+
+    def run() -> Dict[str, float]:
+        from repro.scenarios import get
+        from repro.scenarios.runner import run_case
+
+        spec = get("paper-fig8")
+        reps = 3
+        if quick:
+            spec = spec.quick(120.0)
+            reps = 5
+
+        def one(verify: bool) -> float:
+            t0 = time.perf_counter()
+            case = run_case(spec, "bcp", "ms-8", 3, verify=verify)
+            wall = time.perf_counter() - t0
+            if verify and case.violations:
+                raise RuntimeError(
+                    f"paper-fig8 armed run violated invariants: "
+                    f"{[v.invariant for v in case.violations]}")
+            return wall
+
+        one(True)  # untimed warm-up: imports and caches, not the gate
+        offs, ons = [], []
+        for _ in range(reps):
+            offs.append(one(False))
+            ons.append(one(True))
+        off, on = min(offs), min(ons)
+        return {
+            "wall_s": on,
+            "wall_off_s": off,
+            "overhead_frac": (on / off - 1.0) if off > 0 else 0.0,
+        }
+
+    return run
+
+
 #: Suites whose cases are full runs (long enough to be stable); everything
 #: else — the ``sweep_throughput`` executor cases included — is short
 #: enough to repeat best-of, which is what keeps the CI ratio gate calm.
-#: ``telemetry`` is here because its overhead case repeats *internally*
-#: (best-of per arm) — the outer best-of would re-pair the arms.
-SINGLE_RUN_SUITES = ("scenarios", "telemetry")
+#: ``telemetry`` and ``verify`` are here because their overhead cases
+#: repeat *internally* (best-of per arm) — the outer best-of would
+#: re-pair the arms.
+SINGLE_RUN_SUITES = ("scenarios", "telemetry", "verify")
 
 
 # -- execution ----------------------------------------------------------------

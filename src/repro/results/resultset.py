@@ -44,9 +44,11 @@ from repro.results.io import dumps_artifact, load_artifact
 from repro.results.model import AXES, SCHEMA_VERSION, CaseResult
 from repro.util.stats import mean, mean_ci, nearest_rank
 
-#: The envelope keys a sweep artifact may carry.
+#: The envelope keys a sweep artifact may carry.  ``violations`` only
+#: appears on the in-memory envelope of a ``verify=True`` sweep (the
+#: on-disk artifact never carries it); it is tolerated, not stored.
 _ENVELOPE_REQUIRED = ("cases", "n_cases")
-_ENVELOPE_OPTIONAL = ("scenario", "spec", "schema_version")
+_ENVELOPE_OPTIONAL = ("scenario", "spec", "schema_version", "violations")
 
 
 #: stat name -> reducer over a non-empty numeric sample.

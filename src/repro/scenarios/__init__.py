@@ -29,7 +29,9 @@ from repro.scenarios.runner import (
     case_to_dict,
     case_to_type,
     dumps_result,
+    register_scheme,
     run_case,
+    unregister_scheme,
 )
 from repro.scenarios.spec import (
     EventSpec,
@@ -57,9 +59,11 @@ __all__ = [
     "get",
     "names",
     "register",
+    "register_scheme",
     "run_case",
     "run_sweep",
     "shutdown_pool",
     "spec_digest",
     "unregister",
+    "unregister_scheme",
 ]

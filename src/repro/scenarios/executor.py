@@ -110,29 +110,39 @@ def spec_digest(spec: ScenarioSpec) -> str:
 #: The spec this worker process executes; installed once by the pool
 #: initializer instead of being pickled into every case payload.
 _WORKER_SPEC: Optional[ScenarioSpec] = None
+#: Whether this worker runs cases with the invariant harness armed.
+_WORKER_VERIFY: bool = False
 
 
-def _init_worker(spec_dict: Dict[str, Any]) -> None:
-    global _WORKER_SPEC
+def _init_worker(spec_dict: Dict[str, Any], verify: bool = False) -> None:
+    global _WORKER_SPEC, _WORKER_VERIFY
     _WORKER_SPEC = ScenarioSpec.from_dict(spec_dict)
+    _WORKER_VERIFY = verify
 
 
 def _execute_case(
-    spec: ScenarioSpec, app: AppRef, scheme: str, seed: int
+    spec: ScenarioSpec, app: AppRef, scheme: str, seed: int,
+    verify: bool = False,
 ) -> Dict[str, Any]:
     """One case as a sweep payload: the artifact row, plus — when the
-    spec opts into telemetry — the timeline dict riding alongside it
-    (kept out of the row itself: the row schema is strict)."""
-    result = run_case(spec, app, scheme, seed)
+    spec opts into telemetry or the sweep is verified — the timeline
+    dict / violation dicts riding alongside it (kept out of the row
+    itself: the row schema is strict)."""
+    result = run_case(spec, app, scheme, seed, verify=verify)
     row = case_to_dict(result)
+    if spec.telemetry is None and not verify:
+        return row
+    payload: Dict[str, Any] = {"row": row}
     if spec.telemetry is not None:
-        return {"row": row, "timeline": result.timeline.to_dict()}
-    return row
+        payload["timeline"] = result.timeline.to_dict()
+    if verify:
+        payload["violations"] = [v.to_dict() for v in result.violations]
+    return payload
 
 
 def _case_worker(payload: Tuple[AppRef, str, int]) -> Dict[str, Any]:
     app, scheme, seed = payload
-    return _execute_case(_WORKER_SPEC, app, scheme, seed)
+    return _execute_case(_WORKER_SPEC, app, scheme, seed, verify=_WORKER_VERIFY)
 
 
 # -- warm pool ----------------------------------------------------------------
@@ -164,27 +174,31 @@ def _start_method() -> str:
 
 
 _pool = None
-_pool_key: Optional[Tuple[int, str, str]] = None
+_pool_key: Optional[Tuple[int, str, str, bool]] = None
 
 
-def _warm_pool(n_procs: int, spec: ScenarioSpec, digest: str):
+def _warm_pool(n_procs: int, spec: ScenarioSpec, digest: str, verify: bool = False):
     """A worker pool primed with ``spec``, reused while it fits.
 
     A pool with *more* workers than requested is still a hit — resuming
     a mostly-cached sweep (few missing cases) must not tear down the
-    warm pool the full sweep built.
+    warm pool the full sweep built.  Armed (``verify``) and disarmed
+    pools never mix: the flag is part of the pool key.
     """
     global _pool, _pool_key
     method = _start_method()
-    key = (n_procs, digest, method)
+    key = (n_procs, digest, method, verify)
     if _pool is not None and _pool_key is not None:
-        have_procs, have_digest, have_method = _pool_key
-        if (have_digest, have_method) == (digest, method) and have_procs >= n_procs:
+        have_procs, have_digest, have_method, have_verify = _pool_key
+        if (have_digest, have_method, have_verify) == (digest, method, verify) \
+                and have_procs >= n_procs:
             stats["pool_reuses"] += 1
             return _pool
     shutdown_pool()
     ctx = multiprocessing.get_context(method)
-    _pool = ctx.Pool(n_procs, initializer=_init_worker, initargs=(spec.to_dict(),))
+    _pool = ctx.Pool(
+        n_procs, initializer=_init_worker, initargs=(spec.to_dict(), verify)
+    )
     _pool_key = key
     stats["pool_creates"] += 1
     return _pool
@@ -374,6 +388,7 @@ def run_sweep(
     resume_dir: Optional[str] = None,
     max_cases: Optional[int] = None,
     timelines_dir: Optional[str] = None,
+    verify: bool = False,
 ) -> Dict[str, Any]:
     """Run a scenario's matrix, optionally in parallel, resumably.
 
@@ -395,6 +410,14 @@ def run_sweep(
     travel *beside* the artifact — the returned envelope and the row
     schema are unchanged, so telemetry sweeps aggregate and compare
     through :class:`repro.results.ResultSet` exactly like plain ones.
+
+    With ``verify=True``, every freshly simulated case runs with the
+    :class:`~repro.verify.InvariantHarness` armed and the *returned*
+    envelope gains a top-level ``"violations"`` list (each entry a
+    violation dict tagged with its case's app/scheme/seed).  The
+    on-disk artifact and its rows stay byte-identical — the harness is
+    observe-only.  Cases satisfied from the resume cache were already
+    simulated by an earlier run and are *not* re-verified.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -447,16 +470,17 @@ def run_sweep(
         """Missing-case payloads in matrix order (imap preserves it)."""
         if parallel:
             n_procs = min(jobs, len(missing))
-            pool = _warm_pool(n_procs, spec, digest)
+            pool = _warm_pool(n_procs, spec, digest, verify)
             payloads = [case for _i, case in missing]
             yield from pool.imap(
                 _case_worker, payloads, chunksize=_chunksize(len(payloads), n_procs)
             )
         else:
             for _i, (app, scheme, seed) in missing:
-                yield _execute_case(spec, app, scheme, seed)
+                yield _execute_case(spec, app, scheme, seed, verify=verify)
 
     rows: List[Dict[str, Any]] = []
+    violations: List[Dict[str, Any]] = []
     fresh = _fresh()
     try:
         for i, (app, scheme, seed) in enumerate(cases):
@@ -464,8 +488,12 @@ def run_sweep(
             timeline = cached_timelines.get(i)
             if row is None:
                 payload = next(fresh)
-                if telemetry_on:
-                    row, timeline = payload["row"], payload["timeline"]
+                if telemetry_on or verify:
+                    row, timeline = payload["row"], payload.get("timeline")
+                    for v in payload.get("violations", ()):
+                        violations.append(
+                            {"app": app.key, "scheme": scheme, "seed": seed, **v}
+                        )
                 else:
                     row = payload
                 stats["cases_run"] += 1
@@ -490,9 +518,15 @@ def run_sweep(
             # behind; a reused pool would hang or lag the next sweep.
             shutdown_pool()
         raise
-    return {
+    envelope = {
         "scenario": spec.name,
         "spec": spec.to_dict(),
         "n_cases": len(rows),
         "cases": rows,
     }
+    if verify:
+        # Only in the returned dict: the streamed artifact's envelope
+        # tail never grows keys, so verified and plain sweeps write
+        # byte-identical files.
+        envelope["violations"] = violations
+    return envelope

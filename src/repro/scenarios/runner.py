@@ -40,13 +40,39 @@ from repro.scenarios.spec import ScenarioSpec
 from repro.telemetry import QoSMonitor, TelemetrySnapshot, Timeline
 
 
+#: Extra scheme labels registered at runtime (fault-injection fixtures,
+#: experiment variants).  Factories here take no arguments; they shadow
+#: nothing — built-in labels stay first and cannot be overridden.
+_EXTRA_SCHEMES: Dict[str, Callable] = {}
+
+
+def register_scheme(label: str, factory: Callable) -> None:
+    """Add a scheme label to the comparison set at runtime.
+
+    ``factory`` is a zero-argument callable producing a fresh scheme
+    instance per case.  Built-in labels cannot be shadowed; registering
+    an already-registered extra label raises too (unregister first).
+    """
+    if label in scheme_factories() or label in _EXTRA_SCHEMES:
+        raise ValueError(f"scheme label {label!r} is already registered")
+    _EXTRA_SCHEMES[label] = factory
+
+
+def unregister_scheme(label: str) -> None:
+    """Remove a runtime-registered scheme label (unknown labels are a
+    no-op so teardown paths can call this unconditionally)."""
+    _EXTRA_SCHEMES.pop(label, None)
+
+
 def scheme_factories(checkpoint_period_s: float = 300.0) -> Dict[str, Callable]:
     """The Section IV-B comparison set, keyed by figure label.
 
     ``checkpoint_period_s`` drives the periodic baselines; MobiStreams
     takes its period from the controller's checkpoint clock instead.
+    Runtime-registered extras (:func:`register_scheme`) appear after the
+    built-ins.
     """
-    return {
+    factories: Dict[str, Callable] = {
         "base": NoFaultTolerance,
         "rep-2": lambda: ActiveStandby(2),
         "local": lambda: LocalCheckpoint(period_s=checkpoint_period_s),
@@ -55,6 +81,8 @@ def scheme_factories(checkpoint_period_s: float = 300.0) -> Dict[str, Callable]:
         "dist-3": lambda: DistributedCheckpoint(3, period_s=checkpoint_period_s),
         "ms-8": MobiStreamsScheme,
     }
+    factories.update(_EXTRA_SCHEMES)
+    return factories
 
 
 def scheme_factory(scheme: str, checkpoint_period_s: float = 300.0) -> Callable:
@@ -98,6 +126,10 @@ class CaseResult:
     #: Lives beside — never inside — the artifact row: rows keep the
     #: strict :mod:`repro.results.model` schema.
     timeline: Optional[Timeline] = None
+    #: Invariant violations found by the armed harness (empty unless the
+    #: case ran with ``verify=True``).  Like the timeline, these live
+    #: beside the artifact row, never inside it.
+    violations: tuple = ()
 
     @property
     def recoveries(self) -> int:
@@ -140,6 +172,7 @@ def run_case(
     scheme: str,
     seed: int,
     on_snapshot: Optional[Callable[[TelemetrySnapshot], None]] = None,
+    verify: bool = False,
 ) -> CaseResult:
     """Build, script, run, and measure one case.
 
@@ -148,9 +181,20 @@ def run_case(
     ``on_snapshot`` streams each live sample (the ``repro watch``
     feed).  The monitor is read-only and draws no randomness, so the
     metrics row is identical with telemetry on or off.
+
+    With ``verify=True``, a :class:`~repro.verify.InvariantHarness`
+    observes the run and the result carries any violations.  The
+    harness, like the monitor, is observe-only and draws no
+    randomness — the artifact row is byte-identical either way.
     """
     app_key = AppRef.coerce(app).key
     system = build_system(spec, app, scheme, seed)
+    harness = None
+    if verify:
+        from repro.verify.harness import InvariantHarness
+
+        harness = InvariantHarness(system)
+        harness.start()
     monitor: Optional[QoSMonitor] = None
     if spec.telemetry is not None:
         monitor = QoSMonitor(
@@ -169,6 +213,8 @@ def run_case(
     system.run(spec.duration_s)
     if monitor is not None:
         monitor.finish()
+    if harness is not None:
+        harness.finish()
     report = system.metrics(warmup_s=spec.warmup_s)
     return CaseResult(
         scenario=spec.name,
@@ -178,6 +224,7 @@ def run_case(
         report=report,
         region_stopped=[r.stopped for r in system.regions],
         timeline=monitor.timeline() if monitor is not None else None,
+        violations=tuple(harness.violations) if harness is not None else (),
     )
 
 

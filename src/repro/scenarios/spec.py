@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.apps.registry import AppRef, AppRefLike
+from repro.util.simlog import get_logger
 
 EVENT_KINDS = (
     "crash", "cascade", "depart", "churn", "join", "handoff", "surge", "battery",
@@ -237,8 +238,24 @@ class ScenarioSpec:
                 0 <= ev.to_region < self.n_regions
             ):
                 raise ValueError(f"handoff targets unknown region {ev.to_region}")
+        late = self.late_events()
+        if late:
+            # Not an error: a spec may be the pre-``quick()`` original of
+            # a scaled copy whose events do fit.  But an event at or past
+            # duration_s never fires as written, which is almost always a
+            # typo — say so at load time, once per spec object.
+            get_logger().warning(
+                "scenario %r: %d event(s) at/past duration_s=%.1f never "
+                "fire: %s", self.name, len(late), self.duration_s,
+                ", ".join(f"{ev.kind}@{ev.time:g}s" for ev in late),
+            )
 
     # -- derived views -------------------------------------------------------
+    def late_events(self) -> Tuple[EventSpec, ...]:
+        """Events scheduled at or past ``duration_s`` — dead script
+        entries that can never fire within the run window."""
+        return tuple(ev for ev in self.events if ev.time >= self.duration_s)
+
     def region_spec(self, index: int) -> RegionSpec:
         """The effective override for region ``index``."""
         return self.regions[index] if index < len(self.regions) else RegionSpec()

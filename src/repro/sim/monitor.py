@@ -14,7 +14,7 @@ metric derivation is O(matches), not O(all records x queries).
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.util.simlog import get_logger
 
@@ -132,8 +132,13 @@ class Trace:
         self._by_category: Dict[str, _CategoryIndex] = {}
         #: Live observers called with each appended record (telemetry).
         #: Kept off the hot path: recording without observers costs one
-        #: truthiness check on this list.
+        #: truthiness check on this list.  Observers registered with a
+        #: category filter live in ``_scoped`` and are only called for
+        #: records of those categories — per-tuple categories make
+        #: unconditional fan-out too expensive for filtered consumers.
         self._observers: List[Callable[[TraceRecord], None]] = []
+        self._global_observers: List[Callable[[TraceRecord], None]] = []
+        self._scoped: Dict[str, List[Callable[[TraceRecord], None]]] = {}
 
     def record(self, time: float, category: str, **data: Any) -> None:
         """Append a record (no-op when tracing is disabled)."""
@@ -147,24 +152,50 @@ class Trace:
             self._by_category[category] = index
         index.append(rec)
         if self._observers:
-            for observer in self._observers:
+            for observer in self._global_observers:
                 observer(rec)
+            scoped = self._scoped.get(category)
+            if scoped is not None:
+                for observer in scoped:
+                    observer(rec)
 
-    def add_observer(self, fn: Callable[[TraceRecord], None]) -> None:
-        """Stream every future record to ``fn`` (read-only tap; called
-        synchronously inside :meth:`record`, so keep it cheap).  A
-        disabled trace records nothing and therefore observes nothing.
+    def add_observer(
+        self,
+        fn: Callable[[TraceRecord], None],
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Stream future records to ``fn`` (read-only tap; called
+        synchronously inside :meth:`record`, so keep it cheap).  With
+        ``categories``, ``fn`` only sees records of those categories —
+        the dispatch cost for everything else is one dict lookup instead
+        of a call.  A disabled trace records nothing and therefore
+        observes nothing.
         """
         if fn in self._observers:
             raise ValueError("observer already registered")
         self._observers.append(fn)
+        if categories is None:
+            self._global_observers.append(fn)
+        else:
+            for category in categories:
+                self._scoped.setdefault(category, []).append(fn)
 
     def remove_observer(self, fn: Callable[[TraceRecord], None]) -> None:
         """Detach an observer (unknown observers are ignored)."""
         try:
             self._observers.remove(fn)
         except ValueError:
+            return
+        try:
+            self._global_observers.remove(fn)
+        except ValueError:
             pass
+        for category in list(self._scoped):
+            observers = self._scoped[category]
+            if fn in observers:
+                observers.remove(fn)
+                if not observers:
+                    del self._scoped[category]
 
     def counter(self, name: str) -> Counter:
         """Return (creating if needed) the counter called ``name``.

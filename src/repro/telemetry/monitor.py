@@ -146,7 +146,9 @@ class QoSMonitor:
         # Mid-run samples need a current kernel-event count; the default
         # run loop batch-flushes it only at exit.
         self.sim.count_inline = True
-        self.trace.add_observer(self.observe)
+        # Category-scoped: per-tuple categories (source ingests, sink
+        # discards) never reach this observer at all.
+        self.trace.add_observer(self.observe, categories=self._handlers)
         self._cancel_sampler = self.sim.call_every(self.interval_s, self._tick)
 
     def finish(self) -> None:

@@ -1,0 +1,86 @@
+"""Per-scheme delivery contracts: what recovery is allowed to do to data.
+
+Flux and Borealis define recovery correctness as a precise *delivery
+contract* per scheme — exactly what is promised about tuples that cross
+a crash/recovery epoch.  This module mechanizes those contracts so the
+invariant harness (:mod:`repro.verify.harness`) can enforce each
+scheme's own promise, not a one-size-fits-all property.
+
+A scheme declares its contract with the ``delivery_contract`` class (or
+instance) attribute — a name resolved through :data:`CONTRACTS`:
+
+``"none"``
+    No promise (``base``).  Only structural invariants that hold for any
+    run (monotone checkpoint versions where versions exist at all) are
+    checked; loss and duplication after a failure are expected.
+``"duplication-free"``
+    Replication (``rep-k``): a logical result is published at most once
+    even when replica chains race; loss is tolerated when a whole chain
+    dies.
+``"bounded-loss"``
+    Periodic checkpointing (``local``/``dist-n``): at most one
+    checkpoint period of input may be lost per failure; no duplicated
+    sink outputs; the region makes progress again after a recovery.
+``"exactly-once"``
+    Commit-token checkpointing (``ms-n``): no loss and no duplication
+    across recovery — replay must cover the full gap between the
+    restored version and the crash, the token protocol must commit
+    safely, and the region must make progress again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class DeliveryContract:
+    """One scheme's recovery promise, as checkable invariant flags."""
+
+    name: str
+    #: A sink result (per emit key) is published at most once.
+    duplication_free: bool = False
+    #: Commit-token safety: no checkpoint commits while tokens are
+    #: outstanding; no restore from an abandoned or incomplete version.
+    token_protocol: bool = False
+    #: Catch-up replay must cover every input since the restored cut.
+    replay_covers_gap: bool = False
+    #: Checkpoint/recovery versions advance monotonically per region.
+    monotone_versions: bool = False
+    #: After a successful recovery, continued input must eventually
+    #: produce sink output again (the region did not silently wedge).
+    progress_after_recovery: bool = False
+
+
+CONTRACTS: Dict[str, DeliveryContract] = {
+    "none": DeliveryContract("none"),
+    "duplication-free": DeliveryContract(
+        "duplication-free", duplication_free=True),
+    "bounded-loss": DeliveryContract(
+        "bounded-loss", duplication_free=True, monotone_versions=True,
+        progress_after_recovery=True),
+    "exactly-once": DeliveryContract(
+        "exactly-once", duplication_free=True, token_protocol=True,
+        replay_covers_gap=True, monotone_versions=True,
+        progress_after_recovery=True),
+}
+
+
+def contract_for(scheme: Any) -> DeliveryContract:
+    """The declared contract of a scheme instance.
+
+    Schemes without a declaration fall back to ``"none"`` — third-party
+    schemes opt *in* to enforcement.  Unknown declarations raise: a
+    typo'd contract name silently checking nothing would defeat the
+    whole harness.
+    """
+    name = getattr(scheme, "delivery_contract", "none")
+    try:
+        return CONTRACTS[name]
+    except KeyError:
+        known = ", ".join(sorted(CONTRACTS))
+        raise ValueError(
+            f"scheme {getattr(scheme, 'name', scheme)!r} declares unknown "
+            f"delivery contract {name!r}; known contracts: {known}"
+        ) from None

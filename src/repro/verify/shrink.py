@@ -1,0 +1,154 @@
+"""Delta-debug shrinking of failing scenario specs.
+
+Given a spec whose armed run violated an invariant, :func:`shrink`
+greedily minimizes it while preserving the failure: drop events one at
+a time to a fixpoint, then shrink each survivor's parameters (fewer
+phones, count 1, quantized times, no open windows), then compress the
+run itself (shorter duration, rounder checkpoint period).  The result
+is a minimal reproducer — typically one or two events — that still
+triggers the *same invariant* and plugs straight into
+``repro scenario run <spec.json> --verify``.
+
+Every candidate is evaluated by actually re-running the case with the
+harness armed, so shrinking is exact (no heuristics about which events
+"matter"); ``max_runs`` caps the cost.  Candidate evaluations are
+memoized on the spec's canonical JSON — delta debugging retries
+overlapping subsets, and each re-run is the expensive part.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.scenarios.spec import EventSpec, ScenarioSpec
+from repro.verify.fuzz import run_spec
+
+
+class ShrinkBudget(RuntimeError):
+    """Internal signal: the run cap was reached mid-pass."""
+
+
+def failing_invariants(spec: ScenarioSpec) -> Set[str]:
+    """The invariant names an armed run of ``spec`` violates."""
+    names: Set[str] = set()
+    for result in run_spec(spec):
+        names.update(v.invariant for v in result.violations)
+    return names
+
+
+def _rename(spec: ScenarioSpec, suffix: str = ".min") -> ScenarioSpec:
+    name = spec.name
+    if not name.endswith(suffix):
+        spec = dataclasses.replace(spec, name=name + suffix)
+    return spec
+
+
+def _quantize_down(value: float, step: float, minimum: float) -> float:
+    """Largest multiple of ``step`` that is <= value and >= minimum."""
+    return max(minimum, (value // step) * step)
+
+
+def _event_candidates(ev: EventSpec, spec: ScenarioSpec) -> List[EventSpec]:
+    """Simpler variants of one event, most aggressive first."""
+    out: List[EventSpec] = []
+    if len(ev.phones) > 1:
+        out.append(dataclasses.replace(ev, phones=ev.phones[:1]))
+    if ev.count > 1:
+        out.append(dataclasses.replace(ev, count=1))
+    if ev.until is not None:
+        out.append(dataclasses.replace(ev, until=None))
+    rounded = _quantize_down(ev.time, 10.0, 1.0)
+    if rounded != ev.time:
+        out.append(dataclasses.replace(ev, time=rounded))
+    if ev.interval not in (10.0, 30.0):
+        out.append(dataclasses.replace(ev, interval=10.0))
+    return out
+
+
+def shrink(
+    spec: ScenarioSpec,
+    invariant: Optional[str] = None,
+    max_runs: int = 200,
+    on_progress: Optional[Callable[[int, ScenarioSpec], None]] = None,
+) -> Tuple[ScenarioSpec, int]:
+    """Minimize ``spec`` while it still violates ``invariant``.
+
+    ``invariant`` defaults to whatever the unshrunk spec violates (any
+    one of them must survive each shrink step).  Returns the minimized
+    spec (renamed ``<name>.min``) and the number of verification runs
+    spent.  Raises ``ValueError`` if the input spec does not fail at
+    all — shrinking a passing spec would "minimize" it to noise.
+    """
+    runs = 0
+    cache: Dict[str, bool] = {}
+    baseline = failing_invariants(spec)
+    runs += 1
+    if not baseline:
+        raise ValueError(
+            f"spec {spec.name!r} does not violate any invariant; "
+            "nothing to shrink"
+        )
+    targets = baseline if invariant is None else {invariant}
+    if invariant is not None and invariant not in baseline:
+        raise ValueError(
+            f"spec {spec.name!r} violates {sorted(baseline)}, "
+            f"not {invariant!r}"
+        )
+
+    def still_fails(candidate: ScenarioSpec) -> bool:
+        nonlocal runs
+        key = candidate.to_json()
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        if runs >= max_runs:
+            raise ShrinkBudget()
+        runs += 1
+        ok = bool(targets & failing_invariants(candidate))
+        cache[key] = ok
+        if ok and on_progress is not None:
+            on_progress(runs, candidate)
+        return ok
+
+    current = spec
+    try:
+        # Pass 1: drop events to a fixpoint (classic ddmin, step 1).
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(current.events)):
+                if len(current.events) == 1:
+                    break
+                events = current.events[:i] + current.events[i + 1:]
+                candidate = dataclasses.replace(current, events=events)
+                if still_fails(candidate):
+                    current = candidate
+                    changed = True
+                    break
+
+        # Pass 2: shrink each surviving event's parameters.
+        for i in range(len(current.events)):
+            for variant in _event_candidates(current.events[i], current):
+                events = (current.events[:i] + (variant,)
+                          + current.events[i + 1:])
+                candidate = dataclasses.replace(current, events=events)
+                if still_fails(candidate):
+                    current = candidate
+
+        # Pass 3: compress the run window around the surviving events.
+        last_event = max((ev.time for ev in current.events), default=0.0)
+        for fraction in (0.5, 0.7):
+            duration = _quantize_down(
+                current.duration_s * fraction, 10.0, last_event + 30.0)
+            if duration >= current.duration_s:
+                continue
+            candidate = dataclasses.replace(
+                current, duration_s=duration,
+                warmup_s=min(current.warmup_s, duration * 0.1))
+            if still_fails(candidate):
+                current = candidate
+                break
+    except ShrinkBudget:
+        pass
+    return _rename(current), runs

@@ -1,0 +1,52 @@
+"""Seeded synthetic bugs for exercising the invariant harness.
+
+The harness is itself code that can rot; these fixtures prove it still
+*catches* things.  :class:`BrokenPreservationScheme` is MobiStreams with
+one deliberate defect — completed checkpoints prune the preservation
+store one segment too far, so catch-up replay after a crash misses the
+input between the last cut and the crash (silent tuple loss; exactly the
+class of bug Section III-B's preservation rule exists to prevent).  An
+armed run over any post-checkpoint crash raises a ``replay-gap``
+violation; the fuzzer's shrinker then minimizes the triggering scenario.
+
+Use via the scheme extension registry::
+
+    with broken_replay_scheme():
+        run_case(spec, "bcp", BROKEN_REPLAY, seed, verify=True)
+
+Nothing here is imported by production code paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.checkpoint import MobiStreamsScheme
+from repro.scenarios.runner import register_scheme, unregister_scheme
+
+#: Scheme label the fixture registers under.
+BROKEN_REPLAY = "broken-replay"
+
+
+class BrokenPreservationScheme(MobiStreamsScheme):
+    """MobiStreams with an off-by-one preservation prune (test-only)."""
+
+    def __init__(self) -> None:
+        super().__init__(label=BROKEN_REPLAY)
+
+    def _on_checkpoint_complete(self, version: int) -> None:
+        super()._on_checkpoint_complete(version)
+        # The defect: also drop the segment recorded *since* this cut —
+        # input the next recovery will need but can no longer replay.
+        self.preservation.on_checkpoint_complete(version + 1)
+
+
+@contextmanager
+def broken_replay_scheme() -> Iterator[str]:
+    """Register the broken scheme for the duration of a test."""
+    register_scheme(BROKEN_REPLAY, BrokenPreservationScheme)
+    try:
+        yield BROKEN_REPLAY
+    finally:
+        unregister_scheme(BROKEN_REPLAY)

@@ -147,3 +147,44 @@ def test_record_reuses_tuples_by_reference():
     t = tup(seq=7)
     ps.record("S", t)
     assert ps.replay_from(0)[0][1] is t
+
+
+def test_is_pending_tracks_wave_lifecycle():
+    """is_pending is the recovery-time question: could this wave still
+    complete behind our back?  True while collecting saves, False once
+    complete, abandoned, or never begun."""
+    st = CheckpointStore()
+    assert not st.is_pending(1)  # never begun
+    st.begin_version(1, ["n0", "n1"])
+    assert st.is_pending(1)
+    st.put(1, "n0", frozenset({"A"}), "s1", 10)
+    assert st.is_pending(1)  # half-collected: still live
+    st.put(1, "n1", frozenset({"B"}), "s2", 10)
+    assert not st.is_pending(1)  # complete
+    st.begin_version(2, ["n0", "n1"])
+    st.abandon_version(2)
+    assert not st.is_pending(2)  # written off
+    # A late save of the abandoned wave cannot resurrect it.
+    assert not st.put(2, "n0", frozenset({"A"}), "s3", 10)
+    assert not st.is_pending(2) and not st.is_complete(2)
+
+
+def test_every_pending_wave_between_mrc_and_newest_is_visible():
+    """Multiple in-flight waves (slow async saves): recovery must be
+    able to enumerate and abandon all of them, not just the newest —
+    an older wave completing mid-recovery would advance the MRC and
+    drop preservation segments the chosen replay still needs."""
+    st = CheckpointStore()
+    st.begin_version(1, ["n0"])
+    st.put(1, "n0", frozenset({"A"}), "s1", 10)  # v1 completes -> MRC
+    st.begin_version(2, ["n0", "n1"])
+    st.put(2, "n0", frozenset({"A"}), "s2", 10)  # v2 half-done
+    st.begin_version(3, ["n0", "n1"])            # v3 just begun
+    assert st.mrc_version == 1
+    pending = [v for v in range(st.mrc_version + 1, 4) if st.is_pending(v)]
+    assert pending == [2, 3]
+    for v in pending:
+        st.abandon_version(v)
+    # The straggler save that used to complete v2 mid-recovery:
+    assert not st.put(2, "n1", frozenset({"B"}), "s3", 10)
+    assert st.mrc_version == 1

@@ -54,6 +54,69 @@ def test_reset_node_clears_pending_and_done():
     assert t.record("E", 1, "D", expected={"C", "D"})
 
 
+def test_duplicate_channel_token_does_not_complete():
+    """Retransmitted token on one channel is idempotent: it neither
+    completes the set nor disturbs the waiting bookkeeping."""
+    t = TokenTracker()
+    assert not t.record("E", 1, "C", expected={"C", "D"})
+    assert not t.record("E", 1, "C", expected={"C", "D"})
+    assert t.waiting_channels("E", 1) == {"C"}
+    assert not t.is_done("E", 1)
+    assert t.record("E", 1, "D", expected={"C", "D"})
+
+
+def test_token_after_abandon_is_ignored():
+    t = TokenTracker()
+    assert not t.record("E", 3, "C", expected={"C", "D"})
+    t.abandon(3)
+    assert t.is_abandoned(3)
+    # The wave's partial state is gone and late tokens neither block
+    # nor snapshot — even the one that would have completed the set.
+    assert t.waiting_channels("E", 3) == set()
+    assert not t.record("E", 3, "D", expected={"C", "D"})
+    assert not t.is_done("E", 3)
+    # Other versions are untouched.
+    assert t.record("E", 4, "C", expected={"C"})
+
+
+def test_reset_node_mid_round_replays_cleanly():
+    """A node rebuilt mid-round (recovery) restarts the protocol from
+    scratch for the same version without double-firing readiness."""
+    t = TokenTracker()
+    assert not t.record("E", 2, "C", expected={"C", "D"})
+    t.reset_node("E")
+    # Post-rebuild the round replays: C's token again, then D's.
+    assert not t.record("E", 2, "C", expected={"C", "D"})
+    assert t.waiting_channels("E", 2) == {"C"}
+    assert t.record("E", 2, "D", expected={"C", "D"})
+    # Reset after completion also clears done -> a full replay refires.
+    t.reset_node("E")
+    assert not t.is_done("E", 2)
+    assert not t.record("E", 2, "C", expected={"C", "D"})
+    assert t.record("E", 2, "D", expected={"C", "D"})
+
+
+def test_prune_archives_below_floor():
+    """prune_abandoned(v) archives all bookkeeping below v: archived
+    versions answer is_abandoned even without an explicit abandon, and
+    their late tokens are ignored."""
+    t = TokenTracker()
+    t.abandon(2)
+    assert not t.record("E", 1, "C", expected={"C", "D"})
+    assert t.record("F", 1, "E", expected={"E"})
+    t.prune_abandoned(3)
+    # Explicitly-abandoned 2 and never-abandoned 1 are both archived.
+    assert t.is_abandoned(1) and t.is_abandoned(2)
+    assert not t.is_abandoned(3)
+    assert t.waiting_channels("E", 1) == set()
+    assert not t.is_done("F", 1)
+    assert not t.record("E", 1, "D", expected={"C", "D"})
+    # Pruning is monotone: a lower floor later is a no-op.
+    t.prune_abandoned(1)
+    assert t.is_abandoned(2)
+    assert not t.is_abandoned(3)
+
+
 @given(st.lists(st.sampled_from(["u0", "u1", "u2", "u3"]),
                 min_size=1, max_size=30))
 def test_ready_exactly_when_all_channels_seen(arrivals):

@@ -1,0 +1,118 @@
+"""Crashing an already-dead/departed phone is a logged no-op.
+
+With a liveness probe installed, the injector skips dead targets (one
+``simlog`` warning, a ``failures.skipped_dead`` count) instead of
+depending on handler-side behavior; unknown phone ids still fail loudly
+in the handler so scenario typos stay visible.
+"""
+
+import logging
+
+import pytest
+
+from repro.device.failures import FailureInjector
+from repro.sim.core import Simulator
+from repro.sim.monitor import Trace
+
+
+def _injector(alive):
+    sim = Simulator()
+    trace = Trace()
+    injector = FailureInjector(sim, trace=trace)
+    crashed = []
+    injector.on_crash(lambda pid, reason: crashed.append(pid))
+    injector.on_liveness(lambda pid: alive.get(pid, True))
+    return sim, trace, injector, crashed
+
+
+def test_dead_target_is_a_counted_noop(caplog):
+    alive = {"p0": True, "p1": False}
+    sim, trace, injector, crashed = _injector(alive)
+    injector.crash_at(10.0, ["p1"])
+    injector.crash_at(20.0, ["p0"])
+    with caplog.at_level(logging.WARNING, logger="repro.sim"):
+        sim.run()
+    assert crashed == ["p0"]
+    assert trace.value("failures.skipped_dead") == 1
+    assert trace.value("failures.injected") == 1
+    # No failure_injected record for the skipped phone.
+    assert [r.data["phone"] for r in trace.select("failure_injected")] == ["p0"]
+
+
+def test_warning_fires_once_per_injector(caplog):
+    alive = {"p1": False}
+    sim, trace, injector, crashed = _injector(alive)
+    injector.crash_at(10.0, ["p1"])
+    injector.crash_at(20.0, ["p1"])
+    injector.crash_at(30.0, ["p1"])
+    with caplog.at_level(logging.WARNING):
+        sim.run()
+    warnings = [r for r in caplog.records
+                if "already-dead/departed" in r.getMessage()]
+    assert len(warnings) == 1
+    assert trace.value("failures.skipped_dead") == 3
+    assert crashed == []
+
+
+def test_double_kill_in_one_burst(caplog):
+    """A burst listing one phone twice: first kill lands, second skips
+    (the probe sees the phone dead by then)."""
+    alive = {"p2": True}
+    sim, trace, injector, crashed = _injector(alive)
+
+    def handler(pid, reason):
+        crashed.append(pid)
+        alive[pid] = False
+
+    injector.on_crash(handler)
+    injector.crash_at(10.0, ["p2", "p2"])
+    with caplog.at_level(logging.WARNING):
+        sim.run()
+    assert crashed == ["p2"]
+    assert trace.value("failures.skipped_dead") == 1
+
+
+def test_without_probe_everything_reaches_the_handler():
+    sim = Simulator()
+    injector = FailureInjector(sim)
+    crashed = []
+    injector.on_crash(lambda pid, reason: crashed.append(pid))
+    injector.crash_at(10.0, ["ghost"])
+    sim.run()
+    assert crashed == ["ghost"]
+
+
+def test_unknown_phone_still_fails_loudly_in_a_real_system():
+    """The system's probe answers True for ids it has never heard of,
+    so a typo'd phone name raises in the crash handler as before."""
+    from repro.scenarios import get
+    from repro.scenarios.runner import build_system
+
+    system = build_system(get("paper-fig8").quick(120.0), "bcp", "ms-8", 3)
+    system.start()
+    system.injector.crash_at(5.0, ["region9.p99"])
+    with pytest.raises(KeyError, match="region9.p99"):
+        system.run(10.0)
+
+
+def test_scripted_crash_of_departed_phone_is_skipped():
+    """End to end: depart a phone, then crash it — the scripted
+    double-fault runs to completion with the skip counted."""
+    import dataclasses
+
+    from repro.scenarios import EventDirector, get
+    from repro.scenarios.runner import build_system
+    from repro.scenarios.spec import EventSpec
+
+    spec = get("paper-fig8").quick(120.0)
+    spec = dataclasses.replace(spec, events=(
+        EventSpec(kind="depart", time=40.0, phones=(2,)),
+        EventSpec(kind="crash", time=60.0, phones=(2,)),
+    ))
+    system = build_system(spec, "bcp", "ms-8", 3)
+    director = EventDirector(system, spec)
+    director.install()
+    system.start()
+    director.schedule()
+    system.run(spec.duration_s)
+    assert system.trace.value("failures.skipped_dead") == 1

@@ -3,6 +3,7 @@ most a few percent of a full-length scenario run, and a disabled run
 must not touch any telemetry machinery at all."""
 
 import dataclasses
+import gc
 import time
 
 import pytest
@@ -27,9 +28,16 @@ def _measure_overhead() -> float:
         spec, telemetry=TelemetrySpec(interval_s=spec.duration_s / 30.0))
 
     def one(s) -> float:
-        t0 = time.perf_counter()
-        run_case(s, "bcp", "ms-8", 3)
-        return time.perf_counter() - t0
+        # A collection landing inside one arm but not the other swamps
+        # the few-percent signal; measure with the collector parked.
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            run_case(s, "bcp", "ms-8", 3)
+            return time.perf_counter() - t0
+        finally:
+            gc.enable()
 
     offs, ons = [], []
     for _ in range(3):

@@ -1,0 +1,75 @@
+"""Events scheduled at or past ``duration_s`` are dead script entries:
+``late_events()`` finds them, spec load warns about them once, and
+``repro scenario show`` surfaces them on stderr."""
+
+import logging
+
+from repro import cli
+from repro.scenarios.spec import EventSpec, MatrixSpec, ScenarioSpec
+
+
+def _spec(events, duration=120.0, name="late"):
+    return ScenarioSpec(
+        name=name, duration_s=duration, warmup_s=10.0,
+        checkpoint_period_s=40.0, events=tuple(events),
+        matrix=MatrixSpec(apps=("bcp",), schemes=("base",), seeds=(3,)))
+
+
+def test_late_events_returns_only_dead_entries():
+    ok = EventSpec(kind="crash", time=60.0, phones=(2,))
+    at = EventSpec(kind="depart", time=120.0, phones=(3,))
+    past = EventSpec(kind="surge", time=150.0, factor=2.0)
+    spec = _spec([ok, at, past])
+    assert spec.late_events() == (at, past)
+
+
+def test_no_late_events_means_no_warning(caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.sim"):
+        spec = _spec([EventSpec(kind="crash", time=60.0, phones=(2,))])
+    assert spec.late_events() == ()
+    assert not [r for r in caplog.records if "never fire" in r.getMessage()]
+
+
+def test_load_warns_about_late_events(caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.sim"):
+        _spec([EventSpec(kind="crash", time=500.0, phones=(2,))])
+    warnings = [r for r in caplog.records if "never fire" in r.getMessage()]
+    assert len(warnings) == 1
+    message = warnings[0].getMessage()
+    assert "crash@500s" in message and "'late'" in message
+
+
+def test_json_round_trip_warns_too(caplog, tmp_path):
+    spec = _spec([EventSpec(kind="crash", time=500.0, phones=(2,))])
+    with caplog.at_level(logging.WARNING, logger="repro.sim"):
+        loaded = ScenarioSpec.from_json(spec.to_json())
+    assert loaded.late_events() == spec.late_events()
+    assert [r for r in caplog.records if "never fire" in r.getMessage()]
+
+
+def test_quick_scaling_keeps_late_events_late():
+    """Event times scale with duration, so a dead entry stays dead (and
+    a live one stays live) in a ``quick()`` copy."""
+    spec = _spec([EventSpec(kind="crash", time=60.0, phones=(2,)),
+                  EventSpec(kind="depart", time=150.0, phones=(3,))],
+                 duration=600.0)
+    quick = spec.quick(120.0)
+    assert [ev.kind for ev in quick.late_events()] == []
+    late = _spec([EventSpec(kind="depart", time=700.0, phones=(3,))],
+                 duration=600.0).quick(120.0)
+    assert [ev.kind for ev in late.late_events()] == ["depart"]
+
+
+def test_scenario_show_surfaces_late_events(tmp_path, capsys):
+    spec = _spec([EventSpec(kind="crash", time=500.0, phones=(2,))])
+    path = tmp_path / "late.json"
+    path.write_text(spec.to_json(indent=2) + "\n")
+    assert cli.main(["scenario", "show", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert '"name": "late"' in captured.out
+    assert "never fires" in captured.err and "t=500s" in captured.err
+
+
+def test_scenario_show_is_quiet_without_late_events(capsys):
+    assert cli.main(["scenario", "show", "paper-fig8"]) == 0
+    assert "never fires" not in capsys.readouterr().err

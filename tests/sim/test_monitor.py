@@ -201,3 +201,33 @@ def test_observer_skipped_when_trace_disabled():
     tr.add_observer(seen.append)
     tr.record(1.0, "a")
     assert seen == []
+
+
+def test_scoped_observer_sees_only_its_categories():
+    tr = Trace()
+    scoped, everything = [], []
+    tr.add_observer(scoped.append, categories=["a", "c"])
+    tr.add_observer(everything.append)
+    tr.record(1.0, "a")
+    tr.record(2.0, "b")
+    tr.record(3.0, "c")
+    tr.record(4.0, "a")
+    assert [r.category for r in scoped] == ["a", "c", "a"]
+    assert [r.category for r in everything] == ["a", "b", "c", "a"]
+
+
+def test_scoped_observer_removal_cleans_every_category():
+    tr = Trace()
+    seen = []
+    tr.add_observer(seen.append, categories=["a", "b"])
+    with pytest.raises(ValueError):  # same fn, even with new categories
+        tr.add_observer(seen.append, categories=["c"])
+    tr.remove_observer(seen.append)
+    tr.record(1.0, "a")
+    tr.record(2.0, "b")
+    assert seen == []
+    assert tr._scoped == {}
+    # Re-registration after removal works.
+    tr.add_observer(seen.append, categories=["b"])
+    tr.record(3.0, "b")
+    assert [r.time for r in seen] == [3.0]

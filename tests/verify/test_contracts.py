@@ -1,0 +1,62 @@
+"""Contract resolution: every scheme declares the promise the paper
+(and Flux/Borealis before it) assigns to its recovery class."""
+
+import pytest
+
+from repro.scenarios.runner import scheme_factories
+from repro.verify.contracts import CONTRACTS, DeliveryContract, contract_for
+
+#: scheme label -> the contract its class must declare.
+EXPECTED = {
+    "base": "none",
+    "rep-2": "duplication-free",
+    "local": "bounded-loss",
+    "dist-1": "bounded-loss",
+    "dist-2": "bounded-loss",
+    "dist-3": "bounded-loss",
+    "ms-8": "exactly-once",
+}
+
+
+@pytest.mark.parametrize("label,contract_name", sorted(EXPECTED.items()))
+def test_builtin_scheme_contracts(label, contract_name):
+    scheme = scheme_factories()[label]()
+    assert contract_for(scheme).name == contract_name
+
+
+def test_every_builtin_scheme_is_covered():
+    assert set(scheme_factories()) == set(EXPECTED)
+
+
+def test_exactly_once_is_the_strictest():
+    c = CONTRACTS["exactly-once"]
+    assert c.duplication_free and c.token_protocol
+    assert c.replay_covers_gap and c.monotone_versions
+    assert c.progress_after_recovery
+
+
+def test_bounded_loss_tolerates_loss_not_duplication():
+    c = CONTRACTS["bounded-loss"]
+    assert c.duplication_free and c.monotone_versions
+    assert c.progress_after_recovery
+    assert not c.replay_covers_gap and not c.token_protocol
+
+
+def test_none_checks_nothing():
+    c = CONTRACTS["none"]
+    assert c == DeliveryContract("none")
+
+
+def test_undeclared_scheme_falls_back_to_none():
+    class ThirdParty:
+        pass
+
+    assert contract_for(ThirdParty()).name == "none"
+
+
+def test_unknown_declaration_raises():
+    class Typo:
+        delivery_contract = "exactly-onec"
+
+    with pytest.raises(ValueError, match="unknown.*delivery contract"):
+        contract_for(Typo())

@@ -1,0 +1,43 @@
+"""Armed runs over correct schemes are violation-free, and arming the
+harness cannot change what a case *measures* — the observe-only half of
+the verification contract."""
+
+import pytest
+
+from repro.scenarios import get
+from repro.scenarios.runner import build_system, case_to_dict, run_case
+
+
+@pytest.fixture(scope="module")
+def quick_fig8():
+    return get("paper-fig8").quick(120.0)
+
+
+@pytest.mark.parametrize("scheme", ["base", "rep-2", "dist-2", "ms-8"])
+def test_armed_fig8_case_is_clean(quick_fig8, scheme):
+    result = run_case(quick_fig8, "bcp", scheme, 3, verify=True)
+    assert result.violations == ()
+
+
+def test_armed_crash_recovery_case_is_clean():
+    """The interesting case: an ms-8 run that actually crashes,
+    recovers, and replays — the full exactly-once machinery armed."""
+    spec = get("failure-cascade").quick(120.0)
+    result = run_case(spec, "bcp", "ms-8", 3, verify=True)
+    assert result.violations == ()
+
+
+def test_armed_row_is_byte_identical_to_disarmed(quick_fig8):
+    disarmed = run_case(quick_fig8, "bcp", "ms-8", 3)
+    armed = run_case(quick_fig8, "bcp", "ms-8", 3, verify=True)
+    assert case_to_dict(armed) == case_to_dict(disarmed)
+    assert disarmed.violations == ()
+
+
+def test_disarmed_run_builds_no_harness(quick_fig8):
+    """Disarmed (the default) must not register any trace observer —
+    the structural guarantee behind 'artifacts byte-identical'."""
+    system = build_system(quick_fig8, "bcp", "ms-8", 3)
+    assert system.trace._observers == []
+    result = run_case(quick_fig8, "bcp", "ms-8", 3)
+    assert result.violations == ()
