@@ -183,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm the recovery-invariant harness on every "
                             "case; violations print to stderr and the "
                             "exit status is 1 if any fired")
+        p.add_argument("--n-phones", type=int, default=None, metavar="N",
+                       help="scale every region's population to N phones "
+                            "(the computing count is kept; the idle spare "
+                            "pool absorbs the rest)")
+        p.add_argument("--scheduler", default=None,
+                       choices=["heap", "calendar"],
+                       help="simulator event-queue backend (default: the "
+                            "REPRO_SIM_SCHEDULER env var, else heap)")
 
     watch_p = sub.add_parser(
         "watch", help="live QoS telemetry: watch a scenario case or "
@@ -425,6 +433,16 @@ def cmd_scenario(args) -> int:
         return 2
     if args.quick:
         spec = spec.quick()
+    if args.n_phones is not None:
+        try:
+            spec = spec.scaled_phones(args.n_phones)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.scheduler is not None:
+        # Workers inherit the environment, so the knob reaches forked
+        # sweep processes too.
+        os.environ["REPRO_SIM_SCHEDULER"] = args.scheduler
     if args.telemetry:
         import dataclasses
 

@@ -30,6 +30,8 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from repro.core.graph import QueryGraph
 from repro.core.node import NodeRuntime
 from repro.core.operator import OperatorContext
@@ -98,6 +100,7 @@ class Region:
         wifi: WifiCell,
         cellular: CellularNetwork,
         scheme: Any,
+        fleet: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.rng = rng
@@ -141,6 +144,13 @@ class Region:
         self.urgent_links: Set[Tuple[str, str]] = set()
         #: Phones that already filed a chronic-battery self-report.
         self._battery_reported: Set[str] = set()
+        #: Vectorized device backend, when the system runs one (see
+        #: :class:`repro.device.fleet.Fleet`).  The phones dict then holds
+        #: FleetPhone proxies and the battery loop runs as batch sweeps.
+        self._fleet = fleet
+        #: Cached fleet indices of this region's phones (ascending ==
+        #: phones-dict insertion order); invalidated on join/departure.
+        self._fleet_idx: Optional[np.ndarray] = None
         #: One-time warning latch for departures of dead/departed phones.
         self._warned_dead_departure = False
 
@@ -177,6 +187,7 @@ class Region:
             raise ValueError(f"phone {phone.id!r} already in region {self.name}")
         self.phones[phone.id] = phone
         self.idle_ids.append(phone.id)
+        self._fleet_idx = None
         if self._spawned:
             self._join_networks(phone.id)
         self.trace.record(self.sim.now, "phone_joined", region=self.name, phone=phone.id)
@@ -600,6 +611,7 @@ class Region:
             phone.storage.wipe()
             self.cellular.unregister(phone_id)
             self.phones.pop(phone_id, None)
+            self._fleet_idx = None
             return
         if self.controller is not None:
             self.controller.on_departure_report(self, phone_id)
@@ -713,6 +725,9 @@ class Region:
         whose battery empties crashes like any other failure.
         """
         tick = self.config.battery_tick_s
+        if self._fleet is not None:
+            yield from self._fleet_battery_loop(tick)
+            return
         while not self.stopped:
             yield self.sim.timeout(tick)
             for pid, phone in list(self.phones.items()):
@@ -729,6 +744,54 @@ class Region:
                     self.trace.record(
                         self.sim.now, "battery_critical", region=self.name, phone=pid,
                         fraction=phone.battery.fraction,
+                    )
+                    if self.controller is not None and pid not in self.idle_ids:
+                        self.controller.on_self_report(self, pid)
+
+    def _fleet_battery_loop(self, tick: float):
+        """Batch variant of the battery tick over the fleet arrays.
+
+        The drains run as one vectorized sweep; only the phones the sweep
+        flags (newly dead, newly critical) are visited in Python, in
+        ascending fleet-index order — the same order the per-object loop
+        reaches them, since region membership iterates in creation order.
+        """
+        fleet = self._fleet
+        while not self.stopped:
+            yield self.sim.timeout(tick)
+            if self._fleet_idx is None:
+                self._fleet_idx = np.fromiter(
+                    (p.index for p in self.phones.values()),
+                    dtype=np.int64,
+                    count=len(self.phones),
+                )
+            dead, critical = fleet.sweep_battery(self._fleet_idx, tick)
+            if not (dead.size or critical.size):
+                continue
+            dead_list, crit_list = dead.tolist(), critical.tolist()
+            di = ci = 0
+            # Two-pointer merge: both lists are ascending and disjoint.
+            while di < len(dead_list) or ci < len(crit_list):
+                take_dead = ci >= len(crit_list) or (
+                    di < len(dead_list) and dead_list[di] < crit_list[ci]
+                )
+                if take_dead:
+                    pid = fleet.id_at(dead_list[di])
+                    di += 1
+                    self.trace.record(
+                        self.sim.now, "battery_dead", region=self.name, phone=pid
+                    )
+                    self.apply_crash(pid, reason="battery dead")
+                else:
+                    i = crit_list[ci]
+                    ci += 1
+                    pid = fleet.id_at(i)
+                    if pid in self._battery_reported:
+                        continue
+                    self._battery_reported.add(pid)
+                    self.trace.record(
+                        self.sim.now, "battery_critical", region=self.name, phone=pid,
+                        fraction=fleet.phone_at(i).battery.fraction,
                     )
                     if self.controller is not None and pid not in self.idle_ids:
                         self.controller.on_self_report(self, pid)

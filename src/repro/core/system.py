@@ -17,6 +17,7 @@ from repro.core.controller import Controller, ControllerConfig
 from repro.core.metrics import MetricsReport, compute_metrics
 from repro.core.region import Region, RegionConfig
 from repro.device.failures import FailureInjector
+from repro.device.fleet import Fleet
 from repro.device.mobility import MobilityModel
 from repro.device.phone import Phone, PhoneConfig
 from repro.net.cellular import CellularConfig, CellularNetwork
@@ -75,6 +76,10 @@ class SystemConfig:
     #: (or ``None`` entries) leaves the remaining regions at the defaults.
     region_builds: Optional[List[Optional[RegionBuildSpec]]] = None
     trace_enabled: bool = True
+    #: Device-state storage: "object" (one Phone/Battery per phone, the
+    #: default and the parity oracle) or "fleet" (numpy struct-of-arrays
+    #: behind duck-typed proxies — the large-n backend).
+    device_backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.n_regions < 1:
@@ -83,6 +88,11 @@ class SystemConfig:
             raise ValueError("need at least one phone per region")
         if self.region_builds is not None and len(self.region_builds) > self.n_regions:
             raise ValueError("more region_builds entries than regions")
+        if self.device_backend not in ("object", "fleet"):
+            raise ValueError(
+                f"unknown device_backend {self.device_backend!r}; "
+                "expected 'object' or 'fleet'"
+            )
 
     def region_build(self, index: int) -> RegionBuildSpec:
         """The effective build spec for region ``index``."""
@@ -104,6 +114,10 @@ class MobiStreamsSystem:
         self.config = config
         self.app = app
         self.sim = Simulator()
+        #: Vectorized device storage when device_backend == "fleet".
+        self.fleet: Optional[Fleet] = (
+            Fleet() if config.device_backend == "fleet" else None
+        )
         self.rng = RngRegistry(config.master_seed)
         self.trace = Trace(enabled=config.trace_enabled)
         self.cellular = CellularNetwork(self.sim, self.rng, config.cellular, trace=self.trace)
@@ -134,13 +148,13 @@ class MobiStreamsSystem:
             self.areas.append(area)
             self._compute_counts.append(n_compute)
             compute = [
-                Phone(f"{name}.p{i}", area.random_point(geo_rng), phone_cfg,
-                      charge_fraction=build.charge_fraction)
+                self._new_phone(f"{name}.p{i}", area.random_point(geo_rng),
+                                phone_cfg, build.charge_fraction)
                 for i in range(n_compute)
             ]
             idle = [
-                Phone(f"{name}.idle{i}", area.random_point(geo_rng), phone_cfg,
-                      charge_fraction=build.charge_fraction)
+                self._new_phone(f"{name}.idle{i}", area.random_point(geo_rng),
+                                phone_cfg, build.charge_fraction)
                 for i in range(n_idle)
             ]
             wifi = WifiCell(self.sim, self.rng, cfg.wifi, name=name, trace=self.trace)
@@ -168,6 +182,7 @@ class MobiStreamsSystem:
                 wifi=wifi,
                 cellular=self.cellular,
                 scheme=scheme,
+                fleet=self.fleet,
             )
             for op_name, workload in self.app.build_workloads(self.rng, r).items():
                 region.bind_workload(op_name, workload)
@@ -180,6 +195,12 @@ class MobiStreamsSystem:
         # in a line").
         for upstream, downstream in zip(self.regions, self.regions[1:]):
             upstream.add_downstream_region(downstream)
+
+    def _new_phone(self, phone_id, position, config, charge_fraction):
+        """One phone on the configured device backend."""
+        if self.fleet is not None:
+            return self.fleet.create_phone(phone_id, position, config, charge_fraction)
+        return Phone(phone_id, position, config, charge_fraction=charge_fraction)
 
     def _apply_crash(self, phone_id: str, reason: str) -> None:
         region = self._phone_region.get(phone_id)
@@ -230,11 +251,11 @@ class MobiStreamsSystem:
         area = self.areas[region_index]
         self._join_seq += 1
         pid = f"{region.name}.j{self._join_seq}"
-        phone = Phone(
+        phone = self._new_phone(
             pid,
             area.random_point(self.rng.stream("geometry.join")),
             config if config is not None else self.config.phone,
-            charge_fraction=charge_fraction,
+            charge_fraction,
         )
         region.admit_idle_phone(phone)
         self._phone_region[pid] = region

@@ -12,6 +12,7 @@ package models:
 """
 
 from repro.device.battery import Battery, BatteryConfig
+from repro.device.fleet import Fleet, FleetBattery, FleetPhone
 from repro.device.failures import (
     DepartureEvent,
     FailureEvent,
@@ -32,6 +33,9 @@ __all__ = [
     "DepartureEvent",
     "FailureEvent",
     "FailureInjector",
+    "Fleet",
+    "FleetBattery",
+    "FleetPhone",
     "FlashStorage",
     "MobilityModel",
     "Phone",

@@ -90,11 +90,22 @@ class PoissonChurn(MobilityModel):
     seed: int = 0
 
     def start(self, sim: "Simulator", on_departure: DepartureCallback) -> None:
-        """Draw the departure times and schedule them."""
+        """Draw the departure times and schedule them.
+
+        The draw is vectorized (one ``exponential(n)`` call instead of n
+        scalar draws) but stream- and float-identical to the original
+        scalar loop: PCG64 produces the same doubles either way, and
+        seeding the cumsum with ``start_at`` makes the running sum
+        associate in the same order as ``t += gap``.
+        """
+        n = len(self.phone_ids)
+        if not n:
+            return
         gen = np.random.default_rng(self.seed)
-        t = self.start_at
-        for phone_id in self.phone_ids:
-            t += float(gen.exponential(self.mean_interval_s))
+        gaps = gen.exponential(self.mean_interval_s, n)
+        times = np.cumsum(np.concatenate(([float(self.start_at)], gaps)))[1:]
+        for t, phone_id in zip(times, self.phone_ids):
+            t = float(t)
             if self.until is not None and t > self.until:
                 break
             sim.call_at(t, lambda pid=phone_id: on_departure(pid))

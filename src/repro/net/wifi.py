@@ -23,6 +23,7 @@ stops being reachable, which upper layers observe as broken links.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
@@ -104,6 +105,12 @@ class WifiCell:
         self._members: Dict[Any, DeliverFn] = {}
         self._loss: Dict[Any, LossModel] = {}
         self._rng = rng.stream(f"{name}.loss")
+        # Uniform-loss cache for the batched broadcast draw: the shared
+        # Bernoulli p when every member's model is a plain BernoulliLoss
+        # with the same p (the default config), else None.  Recomputed
+        # lazily after membership changes.
+        self._uniform_p: Optional[float] = None
+        self._uniform_dirty = True
         # Pre-resolved counter handles: the per-transmission f-string key
         # build plus two dict lookups used to run on every datagram.
         if trace is not None:
@@ -118,9 +125,18 @@ class WifiCell:
     def members(self) -> List[Any]:
         """Ids of phones currently in the cell (a fresh list).
 
-        Allocates a copy per access; hot paths should use
-        :meth:`iter_members` / :meth:`member_count` instead.
+        .. deprecated::
+            Allocates a copy per access — at fleet scale that is a
+            multi-thousand-element list per call.  Use
+            :meth:`iter_members` / :meth:`member_count` instead; every
+            in-tree caller has been migrated.
         """
+        warnings.warn(
+            "WifiCell.members copies the member list on every access; "
+            "use iter_members()/member_count instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return list(self._members)
 
     def iter_members(self):
@@ -139,16 +155,37 @@ class WifiCell:
     def join(self, member_id: Any, deliver: DeliverFn) -> None:
         """Add a phone to the cell with its delivery callback."""
         self._members[member_id] = deliver
+        self._uniform_dirty = True
         if member_id not in self._loss:
             self._loss[member_id] = self.config.loss_factory()
 
     def leave(self, member_id: Any) -> None:
         """Remove a phone (departure or failure); silently idempotent."""
         self._members.pop(member_id, None)
+        self._uniform_dirty = True
 
     def is_member(self, member_id: Any) -> bool:
         """Whether a phone is currently reachable in the cell."""
         return member_id in self._members
+
+    def _uniform_loss_p(self) -> Optional[float]:
+        """Shared Bernoulli p when every member's loss model allows the
+        batched draw (plain :class:`BernoulliLoss`, equal p), else None."""
+        if self._uniform_dirty:
+            p: Optional[float] = None
+            for member_id in self._members:
+                model = self._loss[member_id]
+                if type(model) is not BernoulliLoss:
+                    p = None
+                    break
+                if p is None:
+                    p = model.p
+                elif model.p != p:
+                    p = None
+                    break
+            self._uniform_p = p
+            self._uniform_dirty = False
+        return self._uniform_p
 
     # -- timing helpers ----------------------------------------------------
     def tx_time(self, size: int) -> float:
@@ -242,13 +279,27 @@ class WifiCell:
         total_frags = int(frags.sum())
         starts = np.cumsum(frags) - frags
         received: Dict[Any, np.ndarray] = {}
-        # No yields inside this loop, so membership cannot change under
+        # No yields below this point, so membership cannot change under
         # us: iterate the live dict instead of copying it every round.
-        for member_id in self._members:
-            if member_id == sender:
-                continue
-            frag_ok = self._loss[member_id].sample(total_frags, self._rng)
-            received[member_id] = np.logical_and.reduceat(frag_ok, starts)
+        uniform_p = self._uniform_loss_p()
+        if uniform_p is not None and self.member_count > (1 if sender in self._members else 0):
+            # Batched draw: one 2-D sample for all receivers.  PCG64
+            # fills a (receivers, frags) array in row-major order, i.e.
+            # exactly the doubles the per-member loop would have drawn
+            # member by member — bit-identical bitmaps, one numpy call.
+            receivers = [m for m in self._members if m != sender]
+            frag_ok = self._rng.random((len(receivers), total_frags)) >= uniform_p
+            bitmaps = np.logical_and.reduceat(frag_ok, starts, axis=1)
+            for row, member_id in enumerate(receivers):
+                received[member_id] = bitmaps[row]
+        else:
+            # Heterogeneous (or stateful, e.g. Gilbert-Elliott) loss
+            # models need their per-member sample() calls.
+            for member_id in self._members:
+                if member_id == sender:
+                    continue
+                frag_ok = self._loss[member_id].sample(total_frags, self._rng)
+                received[member_id] = np.logical_and.reduceat(frag_ok, starts)
         return BroadcastRoundResult(
             received=received,
             bytes_sent=int(total_bytes),

@@ -697,6 +697,229 @@ def _verify_overhead(quick: bool) -> CaseFn:
     return run
 
 
+# -- fleet scale --------------------------------------------------------------
+def _build_object_phones(n: int):
+    from repro.device.phone import Phone
+    from repro.net.topology import Position
+
+    return [Phone(f"p{i}", Position(0.0, 0.0)) for i in range(n)]
+
+
+def _build_fleet(n: int):
+    from repro.device.fleet import Fleet
+    from repro.net.topology import Position
+
+    fleet = Fleet()
+    pos = Position(0.0, 0.0)
+    for i in range(n):
+        fleet.create_phone(f"p{i}", pos)
+    return fleet
+
+
+@_register("fleet", "battery-tick/object")
+def _battery_tick_object(quick: bool) -> CaseFn:
+    """The per-object battery loop at fleet scale: one Python call chain
+    per phone per tick (the Region._battery_loop object path)."""
+    n, ticks = (2_000, 5) if quick else (10_000, 20)
+
+    def run() -> Dict[str, float]:
+        sim = Simulator()
+        phones = _build_object_phones(n)
+
+        def loop():
+            for _ in range(ticks):
+                yield sim.timeout(5.0)
+                for phone in phones:
+                    if not phone.alive:
+                        continue
+                    phone.battery.drain_idle(5.0)
+                    if phone.battery.is_dead or phone.battery.is_critical:
+                        raise RuntimeError("bench phones must stay healthy")
+
+        sim.process(loop())
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        ev = n * ticks
+        return {"wall_s": wall, "events": float(ev), "n_phones": float(n),
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
+@_register("fleet", "battery-tick/fleet")
+def _battery_tick_fleet(quick: bool) -> CaseFn:
+    """The vectorized sweep over the same population: one numpy sweep
+    per tick regardless of n (more ticks than the object case so the
+    wall time stays measurable — ``events_per_s`` is the comparable
+    number, and the 10x gate in tests/perf/test_fleet_scaling.py reads
+    exactly that ratio)."""
+    n, ticks = (2_000, 500) if quick else (10_000, 2_000)
+
+    def run() -> Dict[str, float]:
+        sim = Simulator()
+        fleet = _build_fleet(n)
+        indices = np.arange(n, dtype=np.int64)
+
+        def loop():
+            for _ in range(ticks):
+                yield sim.timeout(5.0)
+                dead, critical = fleet.sweep_battery(indices, 5.0)
+                if dead.size or critical.size:
+                    raise RuntimeError("bench phones must stay healthy")
+
+        sim.process(loop())
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        ev = n * ticks
+        return {"wall_s": wall, "events": float(ev), "n_phones": float(n),
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
+def _broadcast_case(n_members: int, n_rounds: int, uniform: bool) -> Dict[str, float]:
+    from repro.net.loss import BernoulliLoss
+
+    sim, cell = _make_cell(n_members)
+    if not uniform:
+        # Re-model the *sender's* loss: uniformity breaks (forcing the
+        # per-member fallback loop) while every receiver keeps the same
+        # BernoulliLoss(0.08), so both arms do identical receiver work.
+        cell._loss["m0"] = BernoulliLoss(0.5)
+        cell._uniform_dirty = True
+    n_blocks = 64
+    indices = np.arange(n_blocks)
+
+    def driver():
+        for _ in range(n_rounds):
+            yield from cell.udp_broadcast_round("m0", indices, 1024)
+
+    sim.process(driver())
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    # The work that scales with fleet size: per-receiver fragment draws.
+    total_frags = n_rounds * (n_members - 1) * n_blocks
+    return {"wall_s": wall, "events": float(total_frags),
+            "n_members": float(n_members),
+            "events_per_s": _events_per_s(total_frags, wall)}
+
+
+@_register("fleet", "broadcast-round/batched")
+def _broadcast_batched(quick: bool) -> CaseFn:
+    """UDP broadcast over a fleet-sized cell, uniform loss: one 2-D
+    numpy draw covers every receiver."""
+    n_members, n_rounds = (500, 3) if quick else (2_000, 8)
+
+    def run() -> Dict[str, float]:
+        return _broadcast_case(n_members, n_rounds, uniform=True)
+
+    return run
+
+
+@_register("fleet", "broadcast-round/member-loop")
+def _broadcast_member_loop(quick: bool) -> CaseFn:
+    """The same broadcast with uniformity broken: the per-member
+    fallback draws each receiver's fragments in Python."""
+    n_members, n_rounds = (500, 3) if quick else (2_000, 8)
+
+    def run() -> Dict[str, float]:
+        return _broadcast_case(n_members, n_rounds, uniform=False)
+
+    return run
+
+
+def _rss_case(backend: str, n: int) -> Dict[str, float]:
+    """Peak traced memory of one whole scenario case at ``n`` phones.
+
+    Runs a quick paper-fig8 case with the region populations scaled to
+    ``n`` and tracemalloc armed around the entire build + run (numpy
+    allocations are tracemalloc-visible since 1.22, so the fleet arrays
+    are counted).  The scheme is ``base``: ms-8's TR-SMC deliberately
+    replicates every checkpoint onto every member, which at 16k members
+    measures checkpoint fan-out, not device-state scaling.  The
+    simulator, graph, and trace machinery are a fixed cost, so
+    ``bytes_per_phone`` *falls* as n grows — the sub-linear curve
+    tests/perf/test_fleet_scaling.py gates.
+    """
+    import dataclasses
+    import tracemalloc
+
+    from repro.scenarios import EventDirector, get
+    from repro.scenarios.runner import build_system
+
+    spec = dataclasses.replace(
+        get("paper-fig8").quick(), device_backend=backend
+    ).scaled_phones(n)
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    system = build_system(spec, "bcp", "base", 3)
+    director = EventDirector(system, spec)
+    director.install()
+    system.start()
+    director.schedule()
+    system.run(spec.duration_s)
+    wall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {"wall_s": wall, "n_phones": float(n),
+            "peak_kb": peak / 1024.0,
+            "bytes_per_phone": peak / n}
+
+
+def _rss_factory(backend: str, n_full: int):
+    def factory(quick: bool) -> CaseFn:
+        n = max(n_full // 8, 250) if quick else n_full
+
+        def run() -> Dict[str, float]:
+            return _rss_case(backend, n)
+
+        return run
+
+    return factory
+
+
+#: The peak-RSS curve: fleet backend across a 16x population span, with
+#: the object backend at the midpoint for contrast.  The sub-linear and
+#: absolute-ceiling gates live in tests/perf/test_fleet_scaling.py.
+for _n in (1_000, 4_000, 16_000):
+    _register("fleet", f"rss/fleet-n{_n}")(_rss_factory("fleet", _n))
+_register("fleet", "rss/object-n4000")(_rss_factory("object", 4_000))
+
+
+_register("fleet", "scenario/fleet-battery-wave")(
+    _scenario_case("fleet-battery-wave", "bcp", "ms-8", 3)
+)
+
+
+@_register("fleet", "scheduler/calendar-call_in")
+def _calendar_call_in(quick: bool) -> CaseFn:
+    """The call_in storm on the calendar-queue backend (the heap number
+    is sim_kernel's ``call_in_storm``)."""
+    n = 20_000 if quick else 100_000
+
+    def run() -> Dict[str, float]:
+        sim = Simulator(scheduler="calendar")
+        hits = [0]
+
+        def bump() -> None:
+            hits[0] += 1
+
+        for i in range(n):
+            sim.call_in(0.001 * (i % 97), bump)
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        assert hits[0] == n
+        ev = sim.events_processed
+        return {"wall_s": wall, "events": ev,
+                "events_per_s": _events_per_s(ev, wall)}
+
+    return run
+
+
 #: Suites whose cases are full runs (long enough to be stable); everything
 #: else — the ``sweep_throughput`` executor cases included — is short
 #: enough to repeat best-of, which is what keeps the CI ratio gate calm.

@@ -146,6 +146,42 @@ EDGEML_SPLIT_SWEEP = register(ScenarioSpec(
     ),
 ))
 
+FLEET_IDLE_CHURN = register(ScenarioSpec(
+    name="fleet-idle-churn",
+    description="Fleet scale: a 2000-spare idle pool behind the usual "
+                "8-phone dataflow, with organic churn and arrivals — the "
+                "vectorized device backend keeps the per-tick battery "
+                "bookkeeping O(1) Python calls instead of O(n).",
+    duration_s=900.0,
+    warmup_s=150.0,
+    idle_per_region=2000,
+    device_backend="fleet",
+    events=(
+        EventSpec(kind="churn", time=200.0, phones=(3, 4, 5), interval=120.0,
+                  until=800.0),
+        EventSpec(kind="join", time=260.0, count=1),
+        EventSpec(kind="join", time=500.0, count=1),
+    ),
+    matrix=MatrixSpec(apps=("bcp",), schemes=("ms-8",), seeds=(3,)),
+))
+
+FLEET_BATTERY_WAVE = register(ScenarioSpec(
+    name="fleet-battery-wave",
+    description="Fleet scale: 1500 phones all start a hair above the "
+                "chronic-battery threshold and cross it together mid-run "
+                "— one vectorized sweep flags the whole wave, and every "
+                "computing phone self-reports at once.",
+    duration_s=900.0,
+    warmup_s=150.0,
+    idle_per_region=1500,
+    device_backend="fleet",
+    # 0.0319 × 16 kJ = 510.4 J; idle drain (0.15 W) crosses the 480 J
+    # chronic threshold at ~203 s — inside the run window even for
+    # quick() copies, whose clocks compress but whose drain rates do not.
+    regions=(RegionSpec(charge_fraction=0.0319),),
+    matrix=MatrixSpec(apps=("bcp",), schemes=("ms-8",), seeds=(3,)),
+))
+
 BATTERY_CLIFF = register(ScenarioSpec(
     name="battery-cliff",
     description="Two phones fall off a battery cliff to the chronic "

@@ -212,10 +212,18 @@ class ScenarioSpec:
     matrix: MatrixSpec = field(default_factory=MatrixSpec)
     #: Opt-in live QoS telemetry (None = off; see :class:`TelemetrySpec`).
     telemetry: Optional[TelemetrySpec] = None
+    #: Device-state backend: "object" (per-phone objects, the default) or
+    #: "fleet" (vectorized struct-of-arrays for large-n populations).
+    device_backend: str = "object"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario needs a name")
+        if self.device_backend not in ("object", "fleet"):
+            raise ValueError(
+                f"unknown device_backend {self.device_backend!r}; "
+                "expected 'object' or 'fleet'"
+            )
         if self.duration_s <= 0:
             raise ValueError("duration must be positive")
         if not 0 <= self.warmup_s < self.duration_s:
@@ -282,6 +290,26 @@ class ScenarioSpec:
             return self
         return self.scaled(target_duration_s / self.duration_s)
 
+    def scaled_phones(self, n_phones: int) -> "ScenarioSpec":
+        """The same scenario with each region's population grown to
+        ``n_phones``: the computing count is kept (the dataflow shape
+        must not change) and the idle spare pool absorbs the rest.
+        Per-region ``RegionSpec`` phone/idle overrides are dropped —
+        population scaling and hand-tuned counts don't compose."""
+        if n_phones < self.phones_per_region:
+            raise ValueError(
+                f"n_phones ({n_phones}) is below the computing population "
+                f"({self.phones_per_region})"
+            )
+        return dataclasses.replace(
+            self,
+            idle_per_region=n_phones - self.phones_per_region,
+            regions=tuple(
+                dataclasses.replace(r, phones=None, idle=None)
+                for r in self.regions
+            ),
+        )
+
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (JSON-ready, lossless).
@@ -297,6 +325,11 @@ class ScenarioSpec:
         d["matrix"] = self.matrix.to_dict()
         if self.telemetry is None:
             del d["telemetry"]
+        if self.device_backend == "object":
+            # Same omission convention as ``telemetry``: default-valued
+            # runs serialize exactly as they did before the knob existed,
+            # keeping golden hashes and spec digests byte-identical.
+            del d["device_backend"]
         return d
 
     @classmethod

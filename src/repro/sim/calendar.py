@@ -1,0 +1,162 @@
+"""A calendar queue: the bucketed scheduler backend for :class:`Simulator`.
+
+The binary heap is a fine default, but at fleet scale the schedule is
+dominated by *timer churn*: hundreds of thousands of timeouts that are
+scheduled a short, similar distance into the future (battery ticks,
+heartbeats, retransmit timers) and popped in near-FIFO order.  A heap
+pays O(log n) sift costs per operation on a queue whose ordering is
+almost trivial.  Brown's calendar queue (CACM '88) exploits exactly this
+shape: a ring of ``nb`` buckets, each ``width`` seconds of virtual time
+wide, so bucket ``i`` holds events due in windows ``[k*width, (k+1)*width)``
+with ``k % nb == i``.  Push hashes on time; pop scans forward from the
+current window.  With width tuned so ~O(1) events share a window, both
+operations are amortized O(1).
+
+Each bucket is itself a small heap keyed by the full ``(time, priority,
+seq)`` tuple, so simultaneous events keep the exact deterministic order
+the heap backend produces — the two backends are interchangeable oracle
+and optimization (see ``tests/scenarios/test_scheduler_equivalence.py``).
+
+Items are the simulator's queue entries: ``(time, priority, seq, event)``.
+Times must be finite; the simulator never schedules at +inf.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Any, List, Optional, Tuple
+
+#: A scheduled entry, identical to the heap backend's tuples.
+Item = Tuple[float, int, int, Any]
+
+
+class CalendarQueue:
+    """Bucketed priority queue over ``(time, priority, seq, event)`` items.
+
+    The bucket count and width resize automatically (and
+    deterministically — resizes are triggered by item counts, never by
+    wall-clock measurements) to track the live event density.
+    """
+
+    #: Never shrink below this many buckets.
+    MIN_BUCKETS = 8
+
+    __slots__ = ("_buckets", "_nb", "_width", "_epoch", "_n", "_last")
+
+    def __init__(self, width: float = 1.0) -> None:
+        self._nb = self.MIN_BUCKETS
+        self._buckets: List[List[Item]] = [[] for _ in range(self._nb)]
+        self._width = float(width)
+        #: Bucket-sequence number (``time // width``) of the current window.
+        self._epoch = 0
+        self._n = 0
+        #: Time of the most recent pop (the floor for future pushes).
+        self._last = 0.0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    # -- core operations -------------------------------------------------
+    def push(self, item: Item) -> None:
+        """Insert ``item``; its time must be >= the last popped time."""
+        t = item[0]
+        w = int(t // self._width)
+        if not self._n or w < self._epoch:
+            # Keep the scan anchor at (or before) the minimal item's
+            # window.  An empty queue re-anchors on the first push; a
+            # later push may still be *earlier* than that first item
+            # (anything >= the last popped time is legal), so the anchor
+            # must follow it down or pop() would skip its window.
+            self._epoch = w
+        heappush(self._buckets[w % self._nb], item)
+        self._n += 1
+        if self._n > 2 * self._nb:
+            self._resize(self._nb * 2)
+
+    def pop(self) -> Item:
+        """Remove and return the globally minimal item."""
+        if not self._n:
+            raise IndexError("pop from an empty CalendarQueue")
+        nb = self._nb
+        width = self._width
+        buckets = self._buckets
+        e = self._epoch
+        for _ in range(nb):
+            bucket = buckets[e % nb]
+            # Window membership is computed with the same ``// width``
+            # floor as push() so boundary rounding can never strand an
+            # item between windows.
+            if bucket and bucket[0][0] // width <= e:
+                item = heappop(bucket)
+                self._n -= 1
+                self._last = item[0]
+                self._epoch = int(item[0] // width)
+                if self._n < self._nb // 2 and self._nb > self.MIN_BUCKETS:
+                    self._resize(self._nb // 2)
+                return item
+            e += 1
+        # Nothing due within a full year (a sparse tail): jump straight
+        # to the globally minimal item instead of scanning year by year.
+        best: Optional[List[Item]] = None
+        for bucket in buckets:
+            if bucket and (best is None or bucket[0] < best[0]):
+                best = bucket
+        assert best is not None
+        item = heappop(best)
+        self._n -= 1
+        self._last = item[0]
+        self._epoch = int(item[0] // width)
+        if self._n < self._nb // 2 and self._nb > self.MIN_BUCKETS:
+            self._resize(self._nb // 2)
+        return item
+
+    def peek(self) -> Optional[Item]:
+        """The minimal item without removing it (O(buckets))."""
+        if not self._n:
+            return None
+        best: Optional[Item] = None
+        for bucket in self._buckets:
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        return best
+
+    # -- maintenance -----------------------------------------------------
+    def compact(self) -> None:
+        """Drop cancelled entries (``event.callbacks is None``) eagerly."""
+        n = 0
+        for bucket in self._buckets:
+            bucket[:] = [it for it in bucket if it[3].callbacks is not None]
+            heapify(bucket)
+            n += len(bucket)
+        self._n = n
+
+    def _resize(self, nb: int) -> None:
+        """Rebuild with ``nb`` buckets and a width fit to the current spread."""
+        items = [it for bucket in self._buckets for it in bucket]
+        width = self._width
+        if len(items) > 1:
+            lo = min(it[0] for it in items)
+            hi = max(it[0] for it in items)
+            if hi > lo:
+                # Aim for ~2 items per window so the pop scan usually
+                # terminates in its first bucket.
+                width = 2.0 * (hi - lo) / len(items)
+        nb = max(nb, self.MIN_BUCKETS)
+        buckets: List[List[Item]] = [[] for _ in range(nb)]
+        for it in items:
+            buckets[int(it[0] // width) % nb].append(it)
+        for bucket in buckets:
+            heapify(bucket)
+        self._buckets = buckets
+        self._nb = nb
+        self._width = width
+        self._epoch = int(self._last // width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CalendarQueue n={self._n} buckets={self._nb} "
+            f"width={self._width:.6g}>"
+        )

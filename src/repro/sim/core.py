@@ -5,13 +5,30 @@ number makes scheduling deterministic for simultaneous events.  Priority 0
 is reserved for "urgent" occurrences (process initialization, interrupts)
 so they pre-empt ordinary events scheduled at the same instant; ordinary
 events use priority 1.
+
+Two scheduler backends implement that total order:
+
+``heap``
+    A binary heap (the default, and the determinism oracle the other
+    backend is tested against).
+``calendar``
+    A :class:`~repro.sim.calendar.CalendarQueue` — amortized O(1)
+    push/pop for the timer-churn-heavy schedules fleet-scale runs
+    produce, at the price of a slightly costlier ``peek``.
+
+Select with ``Simulator(scheduler=...)`` or the ``REPRO_SIM_SCHEDULER``
+environment variable (the argument wins).  Both produce byte-identical
+event orders, so artifacts never depend on the choice.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from functools import partial
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import (  # noqa: F401  (NORMAL/URGENT re-exported)
     NORMAL,
     URGENT,
@@ -22,6 +39,9 @@ from repro.sim.events import (  # noqa: F401  (NORMAL/URGENT re-exported)
     Timeout,
 )
 from repro.sim.process import Process
+
+#: Known scheduler backends.
+SCHEDULERS = ("heap", "calendar")
 
 
 class StopSimulation(Exception):
@@ -48,10 +68,39 @@ class Simulator:
         assert proc.value == "done"
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    #: Compaction trigger: once at least this many cancelled entries are
+    #: queued *and* they outnumber live ones, the queue is rebuilt.  The
+    #: floor keeps tiny queues from compacting on every cancellation.
+    COMPACT_MIN_DEAD = 64
+
+    def __init__(
+        self, start_time: float = 0.0, scheduler: Optional[str] = None
+    ) -> None:
         self._now = float(start_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SIM_SCHEDULER") or "heap"
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of "
+                + ", ".join(SCHEDULERS)
+            )
+        #: Which queue backend orders the schedule ("heap" or "calendar").
+        self.scheduler = scheduler
+        if scheduler == "calendar":
+            self._calendar: Optional[CalendarQueue] = CalendarQueue()
+            self._queue: Optional[List[Tuple[float, int, int, Event]]] = None
+            self._push: Callable[[Tuple[float, int, int, Event]], None] = (
+                self._calendar.push
+            )
+        else:
+            self._calendar = None
+            self._queue = []
+            # A C-level partial: the fused Timeout constructor calls this
+            # once per scheduled event, so it must not cost a Python frame.
+            self._push = partial(heapq.heappush, self._queue)
         self._seq = 0
+        #: Cancelled-but-still-queued entries (lazy deletion bookkeeping).
+        self.dead_entries = 0
         self._active_process: Optional[Process] = None
         #: Events processed so far (the perf subsystem's events/sec).
         self.events_processed = 0
@@ -119,26 +168,31 @@ class Simulator:
         already scheduled).
 
         This is the sampling hook for periodic observers (telemetry):
-        each firing schedules only the next one, so a cancelled sampler
-        leaves at most one dead event behind.  An active sampler keeps
-        the queue non-empty forever — pair it with ``run(until=...)``
-        or cancel it before a final drain.
+        each firing schedules only the next one, and cancelling also
+        cancels the in-flight event, so a dead sampler leaves nothing in
+        the queue.  An active sampler keeps the queue non-empty forever —
+        pair it with ``run(until=...)`` or cancel it before a final drain.
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
-        cancelled = [False]
+        # [cancelled?, pending Callback] — one shared cell per sampler.
+        state: List[Any] = [False, None]
 
         def _fire() -> None:
-            if cancelled[0]:
+            if state[0]:
                 return
             fn(*args)
-            if not cancelled[0]:
-                Callback(self, interval, _fire, ())
+            if not state[0]:
+                state[1] = Callback(self, interval, _fire, ())
 
-        Callback(self, interval, _fire, ())
+        state[1] = Callback(self, interval, _fire, ())
 
         def cancel() -> None:
-            cancelled[0] = True
+            state[0] = True
+            pending = state[1]
+            if pending is not None:
+                pending.cancel()
+                state[1] = None
 
         return cancel
 
@@ -148,21 +202,68 @@ class Simulator:
     ) -> None:
         """Insert a triggered event into the queue (internal)."""
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._push((self._now + delay, priority, self._seq, event))
+
+    def _queued(self) -> int:
+        """Entries currently scheduled (live + cancelled)."""
+        if self._calendar is not None:
+            return len(self._calendar)
+        return len(self._queue)
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for a lazily-deleted (cancelled) queue entry.
+
+        Cancelled entries normally just sit until their deadline pops
+        them as no-ops; when they outnumber live entries the queue is
+        compacted wholesale so ghost timers can't dominate push/pop
+        costs in churn-heavy workloads.
+        """
+        self.dead_entries += 1
+        if (
+            self.dead_entries >= self.COMPACT_MIN_DEAD
+            and self.dead_entries * 2 >= self._queued()
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the queue without its cancelled entries."""
+        if self._calendar is not None:
+            self._calendar.compact()
+        else:
+            # In-place so run()'s local alias to the list stays valid.
+            self._queue[:] = [
+                item for item in self._queue if item[3].callbacks is not None
+            ]
+            heapq.heapify(self._queue)
+        self.dead_entries = 0
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._calendar is not None:
+            item = self._calendar.peek()
+            return item[0] if item is not None else float("inf")
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event; raises :class:`EmptySchedule` if none."""
-        try:
-            self._now, _prio, _seq, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        if self._calendar is not None:
+            if not self._calendar:
+                raise EmptySchedule()
+            self._now, _prio, _seq, event = self._calendar.pop()
+        else:
+            try:
+                self._now, _prio, _seq, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise EmptySchedule() from None
         self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # A cancelled entry reaching its deadline: nothing runs, but
+            # it still counts as processed (identical to the pre-cancel
+            # behavior of popping an orphaned timeout).
+            self.dead_entries -= 1
+            return
         for callback in callbacks:
             callback(event)
 
@@ -182,6 +283,9 @@ class Simulator:
                 raise ValueError(f"until ({until}) is in the past (now={self._now})")
             stopper = self.timeout(until - self._now)
             stopper.add_callback(self._stop_callback)
+        if self._calendar is not None:
+            self._run_calendar(until)
+            return
         # The event loop is inlined here (rather than calling step() per
         # event): the method-call overhead, the per-event try/except, and
         # the repeated attribute lookups are measurable at millions of
@@ -200,6 +304,9 @@ class Simulator:
                     self._now, _prio, _seq, event = heappop(queue)
                     self.events_processed += 1
                     callbacks, event.callbacks = event.callbacks, None
+                    if callbacks is None:
+                        self.dead_entries -= 1
+                        continue
                     for callback in callbacks:
                         callback(event)
                     if event._ok is False and not event._defused:
@@ -215,6 +322,38 @@ class Simulator:
                 self._now, _prio, _seq, event = heappop(queue)
                 processed += 1
                 callbacks, event.callbacks = event.callbacks, None
+                if callbacks is None:
+                    self.dead_entries -= 1
+                    continue
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    self.events_processed += processed
+                    processed = 0
+                    raise event._value
+            self.events_processed += processed
+            if until is not None and self._now < until:
+                self._now = until
+        except StopSimulation:
+            self.events_processed += processed
+
+    def _run_calendar(self, until: Optional[float]) -> None:
+        """The run loop over the calendar backend (semantics of run())."""
+        calendar = self._calendar
+        pop = calendar.pop
+        inline = self.count_inline
+        processed = 0
+        try:
+            while calendar._n:
+                self._now, _prio, _seq, event = pop()
+                if inline:
+                    self.events_processed += 1
+                else:
+                    processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is None:
+                    self.dead_entries -= 1
+                    continue
                 for callback in callbacks:
                     callback(event)
                 if event._ok is False and not event._defused:
@@ -245,4 +384,7 @@ class Simulator:
         raise StopSimulation()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"
+        return (
+            f"<Simulator t={self._now:.6f} queued={self._queued()} "
+            f"scheduler={self.scheduler}>"
+        )

@@ -13,7 +13,6 @@ them; arbitrary code can also attach callbacks directly.
 
 from __future__ import annotations
 
-import heapq
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -23,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 PENDING = object()
 
 #: Queue priorities.  Defined here (not in core) so the fused Timeout
-#: construction can heappush directly; :mod:`repro.sim.core` re-exports
+#: construction can push directly; :mod:`repro.sim.core` re-exports
 #: them as its public names.
 #: Priority for urgent events (interrupts, process init).
 URGENT = 0
@@ -152,7 +151,7 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` units of virtual time in the future."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -165,9 +164,39 @@ class Timeout(Event):
         self._value = value
         self._ok = True
         self._defused = False
+        self._cancelled = False
         self.delay = delay
         sim._seq += 1
-        heapq.heappush(sim._queue, (sim._now + delay, NORMAL, sim._seq, self))
+        sim._push((sim._now + delay, NORMAL, sim._seq, self))
+
+    def cancel(self) -> None:
+        """Lazily delete this timeout from the schedule.
+
+        The queue entry stays put (removing from the middle of a heap is
+        O(n)) but is marked dead: popping it runs nothing, and when dead
+        entries outnumber live ones the simulator compacts the queue
+        wholesale.  Any callbacks still attached are discarded — only
+        cancel a timeout nothing else is waiting on.  A no-op once the
+        timeout has fired.
+        """
+        if self.callbacks is not None:
+            self._cancelled = True
+            self.callbacks = None
+            self.sim._note_cancelled()
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback``; re-arms the timeout if it was cancelled."""
+        if self.callbacks is None:
+            if self._cancelled:
+                # Still queued, just marked dead: attaching a listener
+                # revives it so it fires at its original deadline.
+                self._cancelled = False
+                self.callbacks = [callback]
+                self.sim.dead_entries -= 1
+            else:
+                callback(self)
+        else:
+            self.callbacks.append(callback)
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise RuntimeError("Timeout events trigger themselves")
@@ -205,11 +234,12 @@ class Callback(Timeout):
         self._value = None
         self._ok = True
         self._defused = False
+        self._cancelled = False
         self.delay = delay
         self._fn = fn
         self._args = args
         sim._seq += 1
-        heapq.heappush(sim._queue, (sim._now + delay, NORMAL, sim._seq, self))
+        sim._push((sim._now + delay, NORMAL, sim._seq, self))
 
 
 class ConditionValue:
@@ -278,11 +308,32 @@ class Condition(Event):
         if not event._ok:
             event.defuse()
             self.fail(event._value)
+            self._detach_pending()
             return
         self._count += 1
         if self._evaluate(self._events, self._count):
             fired = [e for e in self._events if e.triggered and e.ok]
             self.succeed(ConditionValue(fired))
+            self._detach_pending()
+
+    def _detach_pending(self) -> None:
+        """Stop listening to sub-events once the condition has decided.
+
+        The losers of an AnyOf race would otherwise hold our ``_check``
+        until they fire; a timeout left with no listeners at all is
+        cancelled outright so ghost timers don't accumulate in
+        churn-heavy workloads (each loser formerly occupied the queue
+        until its deadline).
+        """
+        for ev in self._events:
+            cbs = ev.callbacks
+            if cbs:
+                try:
+                    cbs.remove(self._check)
+                except ValueError:
+                    continue
+                if not cbs and isinstance(ev, Timeout):
+                    ev.cancel()
 
     @staticmethod
     def all_events(events: List[Event], count: int) -> bool:

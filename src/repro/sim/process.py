@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import PENDING, Event
+from repro.sim.events import PENDING, Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -118,11 +118,19 @@ class Process(Event):
             return
         # Detach from the event we were waiting on (it may differ from
         # `event` when an interrupt pre-empts the wait).
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            else:
+                if not target.callbacks and type(target) is Timeout:
+                    # A pre-empted plain timeout with no other listener
+                    # would sit in the queue as a ghost until its
+                    # deadline; cancel it so interrupt-heavy workloads
+                    # (failure storms, churn) don't drag dead timers.
+                    target.cancel()
         self._target = None
         self.sim._active_process = self
         try:

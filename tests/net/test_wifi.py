@@ -26,7 +26,7 @@ def test_membership():
     inbox = []
     cell.join("A", inbox.append)
     assert cell.is_member("A")
-    assert cell.members == ["A"]
+    assert list(cell.iter_members()) == ["A"]
     cell.leave("A")
     assert not cell.is_member("A")
     cell.leave("A")  # idempotent
@@ -217,8 +217,10 @@ def test_iter_members_and_member_count():
     cell.join("B", lambda m: None)
     assert list(cell.iter_members()) == ["A", "B"]
     assert cell.member_count == 2
-    # The property still returns a fresh, caller-owned list.
-    snapshot = cell.members
+    # The deprecated property still returns a fresh, caller-owned list,
+    # but warns on every access.
+    with pytest.warns(DeprecationWarning, match="iter_members"):
+        snapshot = cell.members
     snapshot.append("C")
     assert cell.member_count == 2
     cell.leave("A")

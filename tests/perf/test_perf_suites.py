@@ -16,7 +16,7 @@ from repro.perf.suites import SUITES, run_suite, suite_names
 def test_expected_suites_registered():
     names = suite_names()
     for expected in ("sim_kernel", "monitor", "wifi_broadcast", "checkpoint",
-                     "scenarios", "sweep_throughput"):
+                     "scenarios", "sweep_throughput", "fleet"):
         assert expected in names
 
 

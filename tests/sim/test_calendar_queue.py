@@ -1,0 +1,203 @@
+"""Tests for the calendar-queue scheduler backend.
+
+The heap backend is the determinism oracle: every property here compares
+the calendar queue's pop order (or a full Simulator run over it) against
+the heap on the same schedule.  Scenario-level equivalence lives in
+``tests/scenarios/test_scheduler_equivalence.py``.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.calendar import CalendarQueue
+from repro.sim.core import SCHEDULERS, Simulator
+
+
+class _Live:
+    """Stand-in event: compact() keeps items whose callbacks is not None."""
+
+    __slots__ = ("callbacks",)
+
+    def __init__(self, cancelled: bool = False) -> None:
+        self.callbacks = None if cancelled else []
+
+
+def _items(rng, n, spread=100.0):
+    out = []
+    for seq in range(n):
+        out.append((rng.random() * spread, rng.choice((0, 1)), seq, _Live()))
+    return out
+
+
+def test_pop_order_matches_heap_on_random_schedules():
+    for seed in range(8):
+        rng = random.Random(seed)
+        items = _items(rng, 500)
+        cq = CalendarQueue()
+        heap = []
+        for it in items:
+            cq.push(it)
+            heapq.heappush(heap, it)
+        got = [cq.pop()[:3] for _ in range(len(items))]
+        want = [heapq.heappop(heap)[:3] for _ in range(len(items))]
+        assert got == want
+        assert not cq
+
+
+def test_interleaved_push_pop_matches_heap():
+    """Monotone non-decreasing pushes interleaved with pops — the
+    simulator's actual usage pattern — across grow and shrink resizes."""
+    rng = random.Random(42)
+    cq, heap = CalendarQueue(), []
+    now = 0.0
+    seq = 0
+    got, want = [], []
+    for _ in range(3000):
+        if heap and rng.random() < 0.45:
+            got.append(cq.pop()[:3])
+            want.append(heapq.heappop(heap)[:3])
+            now = want[-1][0]
+        else:
+            seq += 1
+            it = (now + rng.expovariate(1.0), rng.choice((0, 1)), seq, _Live())
+            cq.push(it)
+            heapq.heappush(heap, it)
+    while heap:
+        got.append(cq.pop()[:3])
+        want.append(heapq.heappop(heap)[:3])
+    assert got == want
+
+
+def test_simultaneous_events_keep_seq_order():
+    cq = CalendarQueue()
+    items = [(5.0, 1, seq, _Live()) for seq in range(20)]
+    for it in reversed(items):
+        cq.push(it)
+    assert [cq.pop()[2] for _ in range(20)] == list(range(20))
+
+
+def test_urgent_priority_preempts_normal_at_same_time():
+    cq = CalendarQueue()
+    cq.push((1.0, 1, 1, _Live()))
+    cq.push((1.0, 0, 2, _Live()))
+    assert cq.pop()[1] == 0
+    assert cq.pop()[1] == 1
+
+
+def test_sparse_tail_uses_the_year_scan_fallback():
+    """Items far beyond the current year (epoch + nb windows) must still
+    pop in order, via the global-min fallback scan."""
+    cq = CalendarQueue(width=1.0)
+    cq.push((0.5, 1, 1, _Live()))
+    cq.push((1e6, 1, 2, _Live()))
+    cq.push((2e6, 1, 3, _Live()))
+    assert cq.pop()[2] == 1
+    assert cq.pop()[2] == 2
+    assert cq.pop()[2] == 3
+
+
+def test_grow_and_shrink_resizes():
+    cq = CalendarQueue()
+    items = [(float(i) * 0.1, 1, i, _Live()) for i in range(200)]
+    for it in items:
+        cq.push(it)
+    assert cq._nb > CalendarQueue.MIN_BUCKETS  # grew
+    order = [cq.pop()[2] for _ in range(200)]
+    assert order == list(range(200))
+    assert cq._nb == CalendarQueue.MIN_BUCKETS  # shrank back
+
+
+def test_peek_returns_min_without_removal():
+    cq = CalendarQueue()
+    assert cq.peek() is None
+    cq.push((3.0, 1, 1, _Live()))
+    cq.push((1.0, 1, 2, _Live()))
+    assert cq.peek()[0] == 1.0
+    assert len(cq) == 2
+
+
+def test_compact_drops_cancelled_entries():
+    cq = CalendarQueue()
+    live = [(float(i), 1, i, _Live()) for i in range(0, 10, 2)]
+    dead = [(float(i), 1, i, _Live(cancelled=True)) for i in range(1, 10, 2)]
+    for it in live + dead:
+        cq.push(it)
+    cq.compact()
+    assert len(cq) == len(live)
+    assert [cq.pop()[2] for _ in range(len(live))] == [0, 2, 4, 6, 8]
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        CalendarQueue().pop()
+
+
+# -- Simulator integration ------------------------------------------------
+def _mixed_workload(sim: Simulator, log):
+    def ticker(name, n, dt):
+        for i in range(n):
+            yield sim.timeout(dt)
+            log.append((sim.now, name, i))
+
+    for k in range(5):
+        sim.process(ticker(f"p{k}", 20, 0.1 + 0.03 * k))
+    sim.call_in(0.5, lambda: log.append((sim.now, "cb", 0)))
+    sim.call_at(1.25, lambda: log.append((sim.now, "cb", 1)))
+
+
+def test_simulator_run_is_identical_across_backends():
+    logs = {}
+    for backend in SCHEDULERS:
+        log = []
+        sim = Simulator(scheduler=backend)
+        _mixed_workload(sim, log)
+        sim.run()
+        logs[backend] = (log, sim.now, sim.events_processed)
+    assert logs["heap"] == logs["calendar"]
+
+
+def test_simulator_run_until_and_step_on_calendar():
+    sim = Simulator(scheduler="calendar")
+    hits = []
+    sim.call_in(1.0, lambda: hits.append(1))
+    sim.call_in(3.0, lambda: hits.append(2))
+    sim.step()  # first callback
+    assert hits == [1]
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    sim.run()
+    assert hits == [1, 2]
+
+
+def test_scheduler_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "calendar")
+    assert Simulator().scheduler == "calendar"
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "")
+    assert Simulator().scheduler == "heap"
+    monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
+    assert Simulator().scheduler == "heap"
+    # The explicit argument wins over the environment.
+    monkeypatch.setenv("REPRO_SIM_SCHEDULER", "calendar")
+    assert Simulator(scheduler="heap").scheduler == "heap"
+
+
+def test_unknown_scheduler_raises():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        Simulator(scheduler="wheel")
+
+
+def test_calendar_cancelled_timeouts_pop_as_noops():
+    sim = Simulator(scheduler="calendar")
+    fired = []
+    keep = sim.timeout(1.0)
+    keep.add_callback(lambda ev: fired.append("keep"))
+    drop = sim.timeout(2.0)
+    drop.add_callback(lambda ev: fired.append("drop"))
+    drop.callbacks.clear()
+    drop.cancel()
+    assert sim.dead_entries == 1
+    sim.run()
+    assert fired == ["keep"]
+    assert sim.dead_entries == 0
