@@ -153,7 +153,13 @@ class WifiCell:
         return len(self._members)
 
     def join(self, member_id: Any, deliver: DeliverFn) -> None:
-        """Add a phone to the cell with its delivery callback."""
+        """Add a phone to the cell with its delivery callback.
+
+        The member's loss model (created here on first join) must not be
+        mutated in place afterwards — the batched broadcast path caches
+        the shared Bernoulli p and would keep drawing with the stale
+        value.  Use :meth:`set_loss` to change a member's channel.
+        """
         self._members[member_id] = deliver
         self._uniform_dirty = True
         if member_id not in self._loss:
@@ -164,13 +170,27 @@ class WifiCell:
         self._members.pop(member_id, None)
         self._uniform_dirty = True
 
+    def set_loss(self, member_id: Any, model: LossModel) -> None:
+        """Replace ``member_id``'s loss model.
+
+        The only supported way to change a member's channel after join:
+        it invalidates the uniform-loss cache so the batched and
+        per-member broadcast paths stay in agreement.
+        """
+        self._loss[member_id] = model
+        self._uniform_dirty = True
+
     def is_member(self, member_id: Any) -> bool:
         """Whether a phone is currently reachable in the cell."""
         return member_id in self._members
 
     def _uniform_loss_p(self) -> Optional[float]:
         """Shared Bernoulli p when every member's loss model allows the
-        batched draw (plain :class:`BernoulliLoss`, equal p), else None."""
+        batched draw (plain :class:`BernoulliLoss`, equal p), else None.
+
+        Cached across rounds and invalidated by join/leave/set_loss;
+        mutating a model's ``p`` in place bypasses the invalidation (see
+        :meth:`join`)."""
         if self._uniform_dirty:
             p: Optional[float] = None
             for member_id in self._members:

@@ -787,8 +787,7 @@ def _broadcast_case(n_members: int, n_rounds: int, uniform: bool) -> Dict[str, f
         # Re-model the *sender's* loss: uniformity breaks (forcing the
         # per-member fallback loop) while every receiver keeps the same
         # BernoulliLoss(0.08), so both arms do identical receiver work.
-        cell._loss["m0"] = BernoulliLoss(0.5)
-        cell._uniform_dirty = True
+        cell.set_loss("m0", BernoulliLoss(0.5))
     n_blocks = 64
     indices = np.arange(n_blocks)
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Any, List, Optional, Tuple
 
+from repro.sim.events import _DEAD_DROPPED
+
 #: A scheduled entry, identical to the heap backend's tuples.
 Item = Tuple[float, int, int, Any]
 
@@ -125,10 +127,20 @@ class CalendarQueue:
 
     # -- maintenance -----------------------------------------------------
     def compact(self) -> None:
-        """Drop cancelled entries (``event.callbacks is None``) eagerly."""
+        """Drop cancelled entries (``event.callbacks is None``) eagerly.
+
+        Dropped timeouts are flagged so a later revival knows its entry
+        is gone and re-pushes one (see ``Timeout.add_callback``).
+        """
         n = 0
         for bucket in self._buckets:
-            bucket[:] = [it for it in bucket if it[3].callbacks is not None]
+            live = []
+            for it in bucket:
+                if it[3].callbacks is not None:
+                    live.append(it)
+                else:
+                    it[3]._cancelled = _DEAD_DROPPED
+            bucket[:] = live
             heapify(bucket)
             n += len(bucket)
         self._n = n

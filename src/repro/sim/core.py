@@ -32,6 +32,7 @@ from repro.sim.calendar import CalendarQueue
 from repro.sim.events import (  # noqa: F401  (NORMAL/URGENT re-exported)
     NORMAL,
     URGENT,
+    _DEAD_DROPPED,
     AllOf,
     AnyOf,
     Callback,
@@ -226,14 +227,23 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the queue without its cancelled entries."""
+        """Rebuild the queue without its cancelled entries.
+
+        Removed timeouts are flagged ``_DEAD_DROPPED`` so a later
+        ``add_callback`` revival knows no queue entry survives and
+        re-pushes one at the stored deadline.
+        """
         if self._calendar is not None:
             self._calendar.compact()
         else:
             # In-place so run()'s local alias to the list stays valid.
-            self._queue[:] = [
-                item for item in self._queue if item[3].callbacks is not None
-            ]
+            live = []
+            for item in self._queue:
+                if item[3].callbacks is not None:
+                    live.append(item)
+                else:
+                    item[3]._cancelled = _DEAD_DROPPED
+            self._queue[:] = live
             heapq.heapify(self._queue)
         self.dead_entries = 0
 
@@ -261,7 +271,10 @@ class Simulator:
         if callbacks is None:
             # A cancelled entry reaching its deadline: nothing runs, but
             # it still counts as processed (identical to the pre-cancel
-            # behavior of popping an orphaned timeout).
+            # behavior of popping an orphaned timeout).  Clearing the
+            # flag makes a later add_callback fire immediately (expired
+            # timeout) instead of reviving an entry that no longer exists.
+            event._cancelled = False
             self.dead_entries -= 1
             return
         for callback in callbacks:
@@ -305,6 +318,7 @@ class Simulator:
                     self.events_processed += 1
                     callbacks, event.callbacks = event.callbacks, None
                     if callbacks is None:
+                        event._cancelled = False
                         self.dead_entries -= 1
                         continue
                     for callback in callbacks:
@@ -323,6 +337,7 @@ class Simulator:
                 processed += 1
                 callbacks, event.callbacks = event.callbacks, None
                 if callbacks is None:
+                    event._cancelled = False
                     self.dead_entries -= 1
                     continue
                 for callback in callbacks:
@@ -352,6 +367,7 @@ class Simulator:
                     processed += 1
                 callbacks, event.callbacks = event.callbacks, None
                 if callbacks is None:
+                    event._cancelled = False
                     self.dead_entries -= 1
                     continue
                 for callback in callbacks:

@@ -29,6 +29,14 @@ URGENT = 0
 #: Priority for normal events.
 NORMAL = 1
 
+#: ``Timeout._cancelled`` states (``False`` means live or already fired).
+#: A cancelled timeout's queue entry either still sits in the schedule
+#: (lazy deletion) or has been physically removed by a wholesale
+#: compaction — reviving it must know which, because only in the first
+#: case is there an entry left to un-mark.
+_DEAD_QUEUED = 1
+_DEAD_DROPPED = 2
+
 
 class Event:
     """A one-shot occurrence that callbacks and processes can wait on.
@@ -151,7 +159,7 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` units of virtual time in the future."""
 
-    __slots__ = ("delay", "_cancelled")
+    __slots__ = ("delay", "deadline", "_cancelled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -166,8 +174,9 @@ class Timeout(Event):
         self._defused = False
         self._cancelled = False
         self.delay = delay
+        self.deadline = sim._now + delay
         sim._seq += 1
-        sim._push((sim._now + delay, NORMAL, sim._seq, self))
+        sim._push((self.deadline, NORMAL, sim._seq, self))
 
     def cancel(self) -> None:
         """Lazily delete this timeout from the schedule.
@@ -180,23 +189,38 @@ class Timeout(Event):
         timeout has fired.
         """
         if self.callbacks is not None:
-            self._cancelled = True
+            self._cancelled = _DEAD_QUEUED
             self.callbacks = None
             self.sim._note_cancelled()
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Attach ``callback``; re-arms the timeout if it was cancelled."""
-        if self.callbacks is None:
-            if self._cancelled:
-                # Still queued, just marked dead: attaching a listener
-                # revives it so it fires at its original deadline.
-                self._cancelled = False
-                self.callbacks = [callback]
-                self.sim.dead_entries -= 1
-            else:
-                callback(self)
-        else:
+        if self.callbacks is not None:
             self.callbacks.append(callback)
+            return
+        state = self._cancelled
+        if not state:
+            # Fired (or its dead entry already popped at the deadline):
+            # run immediately, like any processed event.
+            callback(self)
+            return
+        # Cancelled before its deadline: attaching a listener revives it
+        # so it fires at the original deadline.
+        self._cancelled = False
+        sim = self.sim
+        if state == _DEAD_QUEUED:
+            # The lazily-deleted entry is still in the queue — un-mark it.
+            self.callbacks = [callback]
+            sim.dead_entries -= 1
+        elif self.deadline >= sim._now:
+            # Compaction dropped the entry; schedule a fresh one.
+            self.callbacks = [callback]
+            sim._seq += 1
+            sim._push((self.deadline, NORMAL, sim._seq, self))
+        else:
+            # Dropped by compaction and the deadline has since passed:
+            # behave like an expired timeout and run immediately.
+            callback(self)
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise RuntimeError("Timeout events trigger themselves")
@@ -236,10 +260,11 @@ class Callback(Timeout):
         self._defused = False
         self._cancelled = False
         self.delay = delay
+        self.deadline = sim._now + delay
         self._fn = fn
         self._args = args
         sim._seq += 1
-        sim._push((sim._now + delay, NORMAL, sim._seq, self))
+        sim._push((self.deadline, NORMAL, sim._seq, self))
 
 
 class ConditionValue:

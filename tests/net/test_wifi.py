@@ -238,3 +238,16 @@ def test_counter_handles_match_trace_counters():
     assert trace.value("net.wifi.r9.bytes") == 124.0
     # Traceless cells count nothing and do not crash.
     cell._count(50.0)
+
+
+def test_set_loss_invalidates_uniform_cache():
+    """Replacing a member's loss model after join must not leave the
+    batched broadcast path drawing with the stale cached p."""
+    sim, cell = make_cell(loss=0.08)
+    for m in ("A", "B", "C"):
+        cell.join(m, lambda msg: None)
+    assert cell._uniform_loss_p() == 0.08
+    cell.set_loss("B", BernoulliLoss(0.5))
+    assert cell._uniform_loss_p() is None  # heterogeneous: per-member path
+    cell.set_loss("B", BernoulliLoss(0.08))
+    assert cell._uniform_loss_p() == 0.08  # uniform again, batched path back

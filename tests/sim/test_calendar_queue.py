@@ -16,12 +16,14 @@ from repro.sim.core import SCHEDULERS, Simulator
 
 
 class _Live:
-    """Stand-in event: compact() keeps items whose callbacks is not None."""
+    """Stand-in event: compact() keeps items whose callbacks is not None
+    and flags the dropped ones via ``_cancelled`` (the Timeout contract)."""
 
-    __slots__ = ("callbacks",)
+    __slots__ = ("callbacks", "_cancelled")
 
     def __init__(self, cancelled: bool = False) -> None:
         self.callbacks = None if cancelled else []
+        self._cancelled = cancelled
 
 
 def _items(rng, n, spread=100.0):
@@ -126,6 +128,10 @@ def test_compact_drops_cancelled_entries():
         cq.push(it)
     cq.compact()
     assert len(cq) == len(live)
+    # Dropped entries are flagged so Timeout.add_callback can re-push.
+    from repro.sim.events import _DEAD_DROPPED
+
+    assert all(it[3]._cancelled == _DEAD_DROPPED for it in dead)
     assert [cq.pop()[2] for _ in range(len(live))] == [0, 2, 4, 6, 8]
 
 

@@ -104,6 +104,79 @@ def test_popped_dead_entries_settle_ledger(sim):
     assert sim.events_processed == 10  # dead pops still count
 
 
+def test_revival_after_compaction_fires_at_deadline(sim):
+    """A timeout whose lazily-deleted entry was dropped by a wholesale
+    compaction must re-enter the queue on revival, not wait on an entry
+    that no longer exists."""
+    t = sim.timeout(10.0)
+    t.cancel()
+    churn = [sim.timeout(50.0) for _ in range(2 * Simulator.COMPACT_MIN_DEAD)]
+    for other in churn:
+        other.cancel()  # trips compaction, dropping t's queue entry
+    assert sim.dead_entries < 2 * Simulator.COMPACT_MIN_DEAD
+    fired = []
+    t.add_callback(fired.append)  # revive: re-pushes at the deadline
+    sim.run()
+    assert fired == [t]
+    assert t.deadline == 10.0
+    assert sim.dead_entries == 0
+
+
+def test_anyof_loser_yield_after_compaction(sim):
+    """The reviewer's repro: an AnyOf loser is auto-cancelled; after a
+    compaction drops its entry, ``yield``-ing it must still resume the
+    process at the original deadline (it used to hang forever)."""
+    results = []
+
+    def proc(sim):
+        fast = sim.timeout(1.0)
+        slow = sim.timeout(10.0)
+        yield sim.any_of([fast, slow])  # slow loses and is auto-cancelled
+        churn = [sim.timeout(50.0) for _ in range(2 * Simulator.COMPACT_MIN_DEAD)]
+        for other in churn:
+            other.cancel()
+        yield slow
+        results.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert results == [10.0]
+    assert sim.dead_entries == 0
+
+
+def test_popped_dead_entry_add_callback_fires_immediately(sim):
+    """Once a cancelled entry has popped at its deadline, a later
+    add_callback behaves like on any expired timeout: it runs the
+    callback now and must not decrement the dead ledger again."""
+    t = sim.timeout(1.0)
+    t.cancel()
+    sim.run()
+    assert sim.dead_entries == 0
+    fired = []
+    t.add_callback(fired.append)
+    assert fired == [t]
+    assert sim.dead_entries == 0
+
+
+def test_dropped_entry_past_deadline_fires_immediately(sim):
+    """A compaction-dropped timeout revived after its deadline has
+    passed runs the callback immediately instead of scheduling into the
+    past."""
+    t = sim.timeout(1.0)
+    t.cancel()
+    churn = [sim.timeout(2.0) for _ in range(2 * Simulator.COMPACT_MIN_DEAD)]
+    for other in churn:
+        other.cancel()  # compaction drops t's entry
+    sim.timeout(3.0)  # live event carrying the clock past t's deadline
+    sim.run()
+    assert sim.now == 3.0
+    fired = []
+    t.add_callback(fired.append)
+    assert fired == [t]
+    assert sim.dead_entries == 0
+    assert sim.now == 3.0  # clock never moved backwards
+
+
 def test_compaction_keeps_run_loop_alive():
     """Heap compaction rebuilds the queue list in place so the inlined
     run loop's local alias keeps draining the same list."""
