@@ -1,0 +1,258 @@
+"""Chaos harness: SIGKILL random fabric workers and prove determinism.
+
+The fabric's headline claim is that worker death is invisible in the
+output: a sweep that loses workers mid-run must still produce an
+artifact *byte-identical* to a serial one.  :func:`run_chaos` proves it
+end to end —
+
+1. run the sweep serially through :func:`repro.scenarios.run_sweep`,
+2. run it again through a real coordinator + N real worker
+   *subprocesses* (spawned via ``python -m repro fabric worker``),
+3. SIGKILL ``kills`` random live workers once a fraction of the matrix
+   has merged, respawning replacements so the sweep can finish,
+4. ``cmp`` the two artifacts.
+
+Used three ways: the ``tests/fabric`` suite, the ``fabric-smoke`` CI
+job, and by hand via ``python -m repro fabric chaos <scenario>``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro.fabric.coordinator import FabricCoordinator
+from repro.fabric.protocol import format_address
+from repro.scenarios import executor
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.simlog import get_logger
+
+log = get_logger()
+
+
+def _worker_env(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """Subprocess environment with ``src`` importable regardless of how
+    the parent itself found the package."""
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    parts = [src_dir] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    if extra:
+        env.update(extra)
+    return env
+
+
+class WorkerSupervisor:
+    """Spawn, kill, respawn, and reap fabric worker subprocesses."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        n_workers: int,
+        *,
+        jobs: int = 1,
+        env: Optional[Dict[str, str]] = None,
+        patience_s: float = 30.0,
+        heartbeat_interval_s: float = 0.2,
+    ) -> None:
+        self._address = address
+        self._n_workers = n_workers
+        self._jobs = jobs
+        self._env = _worker_env(env)
+        self._patience_s = patience_s
+        self._heartbeat_interval_s = heartbeat_interval_s
+        self._procs: List[subprocess.Popen] = []
+        self._spawned = 0
+        self.respawns = 0
+        self._lock = threading.Lock()
+
+    def _spawn_one(self) -> subprocess.Popen:
+        self._spawned += 1
+        cmd = [
+            sys.executable, "-m", "repro", "fabric", "worker",
+            "--connect", format_address(self._address),
+            "--id", f"chaos-w{self._spawned}",
+            "--jobs", str(self._jobs),
+            "--heartbeat-interval", str(self._heartbeat_interval_s),
+            "--patience", str(self._patience_s),
+        ]
+        proc = subprocess.Popen(cmd, env=self._env)
+        log.info("chaos: spawned worker chaos-w%d (pid %d)",
+                 self._spawned, proc.pid)
+        return proc
+
+    def start(self) -> None:
+        with self._lock:
+            while len(self._procs) < self._n_workers:
+                self._procs.append(self._spawn_one())
+
+    def live(self) -> List[subprocess.Popen]:
+        with self._lock:
+            return [p for p in self._procs if p.poll() is None]
+
+    def kill_one(self, rng: random.Random) -> Optional[int]:
+        """SIGKILL one random live worker; returns its pid (or None)."""
+        victims = self.live()
+        if not victims:
+            return None
+        victim = rng.choice(victims)
+        victim.kill()
+        victim.wait()
+        log.warning("chaos: SIGKILLed worker pid %d", victim.pid)
+        return victim.pid
+
+    def maintain(self) -> None:
+        """Replace every dead worker so the fleet stays at strength.
+
+        Exit code 0 means the coordinator ordered shutdown (the sweep
+        is over) — only workers that *died* (SIGKILL shows as -9) or
+        failed get replacements.
+        """
+        with self._lock:
+            for i, proc in enumerate(self._procs):
+                if proc.poll() is not None and proc.returncode != 0:
+                    self._procs[i] = self._spawn_one()
+                    self.respawns += 1
+
+    def stop(self) -> None:
+        with self._lock:
+            procs, self._procs = self._procs, []
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+@dataclass
+class ChaosResult:
+    """What the chaos run proved."""
+
+    identical: bool
+    kills_delivered: int
+    respawns: int
+    n_cases: int
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+    serial_path: str = ""
+    fabric_path: str = ""
+    envelope: Dict[str, Any] = field(default_factory=dict)
+
+
+def run_chaos(
+    spec: ScenarioSpec,
+    *,
+    work_dir: str,
+    n_workers: int = 2,
+    kills: int = 1,
+    kill_at_fraction: float = 0.5,
+    seed: int = 0,
+    jobs_per_worker: int = 1,
+    worker_env: Optional[Dict[str, str]] = None,
+    lease_timeout_s: float = 20.0,
+    heartbeat_timeout_s: float = 5.0,
+    backoff_base_s: float = 0.05,
+    idle_timeout_s: Optional[float] = 120.0,
+    max_cases: Optional[int] = None,
+) -> ChaosResult:
+    """SIGKILL ``kills`` workers mid-sweep; assert byte-identity anyway.
+
+    ``kill_at_fraction`` sets how much of the matrix must have merged
+    before the first kill lands (0.5 = halfway); later kills wait one
+    further merged case each, so they spread across the remaining run.
+    """
+    os.makedirs(work_dir, exist_ok=True)
+    serial_path = os.path.join(work_dir, "serial.json")
+    fabric_path = os.path.join(work_dir, "fabric.json")
+
+    log.info("chaos: serial reference sweep for %s", spec.name)
+    executor.run_sweep(spec, jobs=1, out_path=serial_path,
+                       max_cases=max_cases)
+
+    merged = [0]
+    merged_lock = threading.Lock()
+
+    def on_progress(kind: str, index: int, app_key: str, scheme: str,
+                    seed_: int) -> None:
+        with merged_lock:
+            merged[0] += 1
+
+    coordinator = FabricCoordinator(
+        spec,
+        ("127.0.0.1", 0),
+        max_cases=max_cases,
+        lease_timeout_s=lease_timeout_s,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        backoff_base_s=backoff_base_s,
+        idle_timeout_s=idle_timeout_s,
+        on_progress=on_progress,
+    )
+    address = (coordinator.host, coordinator.port)
+    log.info("chaos: coordinator on %s", format_address(address))
+
+    supervisor = WorkerSupervisor(
+        address, n_workers, jobs=jobs_per_worker, env=worker_env,
+        patience_s=max(30.0, heartbeat_timeout_s * 6),
+    )
+
+    cases = list(spec.matrix.cases())
+    if max_cases is not None:
+        cases = cases[:max_cases]
+    threshold = max(1, int(len(cases) * kill_at_fraction))
+
+    done = threading.Event()
+    delivered = [0]
+    rng = random.Random(seed)
+
+    def _chaos_loop() -> None:
+        while not done.is_set():
+            with merged_lock:
+                progress = merged[0]
+            if delivered[0] < kills and progress >= threshold + delivered[0]:
+                if supervisor.kill_one(rng) is not None:
+                    delivered[0] += 1
+            supervisor.maintain()
+            time.sleep(0.05)
+
+    chaos_thread = threading.Thread(target=_chaos_loop, daemon=True)
+    try:
+        supervisor.start()
+        chaos_thread.start()
+        envelope = coordinator.run(out_path=fabric_path)
+    finally:
+        done.set()
+        chaos_thread.join(timeout=5)
+        supervisor.stop()
+
+    with open(serial_path, "rb") as fh:
+        serial_bytes = fh.read()
+    with open(fabric_path, "rb") as fh:
+        fabric_bytes = fh.read()
+    identical = serial_bytes == fabric_bytes
+    result = ChaosResult(
+        identical=identical,
+        kills_delivered=delivered[0],
+        respawns=supervisor.respawns,
+        n_cases=envelope["n_cases"],
+        quarantined=list(envelope.get("quarantined", [])),
+        errors=list(envelope.get("errors", [])),
+        serial_path=serial_path,
+        fabric_path=fabric_path,
+        envelope=envelope,
+    )
+    log.info(
+        "chaos: %s (%d kill(s), %d respawn(s), %d case(s))",
+        "artifacts byte-identical" if identical else "ARTIFACT MISMATCH",
+        result.kills_delivered, result.respawns, result.n_cases)
+    return result

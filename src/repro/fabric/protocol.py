@@ -1,0 +1,136 @@
+"""The fabric wire protocol: length-prefixed JSON frames over TCP.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object with a ``"type"`` key.
+Everything is stdlib: the fabric must run on any host that can run the
+simulator, with nothing to install.
+
+The conversation is strictly request/response — every frame a worker
+sends is answered by exactly one coordinator frame, so both sides stay
+single-threaded per connection and a blocking ``recv`` with a socket
+timeout doubles as the liveness detector:
+
+========================================  =====================================
+worker -> coordinator                     coordinator -> worker
+========================================  =====================================
+``hello {worker, pid, host}``             ``welcome {spec, digest, verify}``
+``fetch {worker}``                        ``lease {index, app, scheme, seed}``
+                                          | ``wait {delay}`` | ``shutdown {}``
+``result {index, payload}``               ``ack {}``
+``error {index, error}``                  ``ack {}``
+``heartbeat {}``                          ``ack {}``
+``goodbye {}``                            ``ack {}``
+========================================  =====================================
+
+``lease.app`` travels in :meth:`repro.apps.registry.AppRef.to_jsonable`
+form; ``result.payload`` is exactly what
+:func:`repro.scenarios.executor._execute_case` returns (a bare artifact
+row, or ``{"row": ..., "timeline": ..., "violations": ...}`` for
+telemetry/verified sweeps) — the coordinator merges it through the same
+code path as a local pool result, which is what keeps distributed
+artifacts byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+#: Hard cap on one frame's payload.  A case row is a few KB and a dense
+#: telemetry timeline a few MB; anything near this size is a protocol
+#: error (or an attack), not data.
+MAX_FRAME_BYTES = 256 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ConnectionError):
+    """A malformed, oversized, or truncated frame — the connection is
+    unusable and must be dropped (both sides treat it like a hangup)."""
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize ``message`` and write one frame (blocking, whole)."""
+    body = json.dumps(
+        message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"refusing to send a {len(body)}-byte frame "
+            f"(cap {MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """``n`` bytes, or None on EOF *before the first byte* (a clean
+    hangup); EOF mid-read raises :class:`FrameError`."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            if buf:
+                raise FrameError(
+                    f"connection closed {len(buf)}/{n} bytes into a read"
+                )
+            return None
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    Socket timeouts (``socket.timeout``) propagate to the caller — a
+    coordinator treats one as a missed heartbeat, a worker as a dead
+    coordinator.  Garbage on the wire raises :class:`FrameError`.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds cap {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise FrameError("connection closed between header and body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise FrameError(f"frame is not a typed object: {message!r}")
+    return message
+
+
+def request(sock: socket.socket, message: Dict[str, Any]) -> Dict[str, Any]:
+    """One request/response round trip; a hangup instead of a reply is
+    a :class:`FrameError` (the protocol promises exactly one reply)."""
+    send_frame(sock, message)
+    reply = recv_frame(sock)
+    if reply is None:
+        raise FrameError(f"no reply to {message.get('type')!r} frame")
+    return reply
+
+
+def parse_address(text: str, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """``"host:port"``, ``":port"``, or bare ``"port"`` -> (host, port)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    host = host or default_host
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"bad fabric address {text!r}: expected HOST:PORT, :PORT, or PORT"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"bad fabric port {port} in {text!r}")
+    return host, port
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    """(host, port) -> ``"host:port"``."""
+    return f"{address[0]}:{address[1]}"

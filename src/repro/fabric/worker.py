@@ -1,0 +1,280 @@
+"""The fabric worker: a reconnecting executor agent.
+
+A worker dials the coordinator, introduces itself, receives the sweep's
+spec once (exactly like a pool initializer), and then loops: fetch a
+lease, run the case through the *same* executor code path a local sweep
+uses, stream the payload back, heartbeat while busy.  Cases run off the
+protocol thread — on a daemon thread for ``jobs == 1``, on the warm
+multiprocessing pool for ``jobs > 1`` — so heartbeats keep flowing
+during a long simulation.
+
+Failure posture:
+
+* **Coordinator restart** — any send/recv error tears down the
+  connection and enters a bounded reconnect loop (``patience_s`` of
+  connect attempts); in-flight cases keep running and their results are
+  delivered over the next connection.  The coordinator's ledger accepts
+  the first result per case and ignores duplicates, so a re-queued
+  case finishing twice is harmless.
+* **Own death** (a case SIGKILLs the process, ``jobs == 1``) — nothing
+  to do here: the TCP connection resets and the coordinator charges the
+  kill to the leased case.
+* **Pool-worker death** (``jobs > 1``) — the pool would hang silently
+  (see :class:`repro.scenarios.executor.PoolBrokenError`), so the
+  worker watches the pool's pid-set every loop; when it changes, the
+  worker drops the connection *without* a goodbye and exits non-zero,
+  which makes the death look identical to its own and keeps the
+  kill-accounting honest.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.apps.registry import AppRef
+from repro.fabric.protocol import (
+    FrameError,
+    format_address,
+    recv_frame,
+    request,
+    send_frame,
+)
+from repro.scenarios import executor
+from repro.scenarios.executor import ScenarioSpec, spec_digest  # noqa: F401
+from repro.util.simlog import get_logger
+
+log = get_logger()
+
+
+class _Inflight:
+    """One leased case in flight, however it executes."""
+
+    __slots__ = ("index", "_event", "_payload", "_async")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self._event = threading.Event()
+        self._payload: Any = None
+        self._async: Any = None
+
+    def run_on_thread(self, spec: ScenarioSpec, app: AppRef, scheme: str,
+                      seed: int, verify: bool) -> None:
+        def _run() -> None:
+            self._payload = executor._try_execute(
+                spec, app, scheme, seed, verify=verify)
+            self._event.set()
+
+        threading.Thread(target=_run, daemon=True).start()
+
+    def run_on_pool(self, pool: Any, app: AppRef, scheme: str,
+                    seed: int) -> None:
+        self._async = pool.apply_async(
+            executor._case_worker, ((app, scheme, seed),))
+
+    def ready(self) -> bool:
+        if self._async is not None:
+            return self._async.ready()
+        return self._event.is_set()
+
+    def take(self) -> Any:
+        """The payload: an executor result, or ``{"__error__": ...}``."""
+        if self._async is not None:
+            return self._async.get()
+        return self._payload
+
+
+class FabricWorker:
+    """One worker process's lifetime against one coordinator address."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        *,
+        jobs: int = 1,
+        worker_id: Optional[str] = None,
+        heartbeat_interval_s: float = 1.0,
+        io_timeout_s: float = 15.0,
+        reconnect_delay_s: float = 0.5,
+        patience_s: float = 60.0,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self._address = address
+        self._jobs = jobs
+        self._id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self._heartbeat_interval_s = float(heartbeat_interval_s)
+        self._io_timeout_s = float(io_timeout_s)
+        self._reconnect_delay_s = float(reconnect_delay_s)
+        self._patience_s = float(patience_s)
+        self._spec: Optional[ScenarioSpec] = None
+        self._digest: Optional[str] = None
+        self._verify = False
+        self._pool: Any = None
+        self._pool_pids: Any = None
+        self._pending: Dict[int, _Inflight] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until the coordinator orders shutdown (0), the pool
+        breaks (1), or the coordinator stays unreachable past the
+        patience window (1)."""
+        if os.environ.get("REPRO_ENABLE_TEST_SCHEMES"):
+            from repro.fabric.testing import ensure_registered
+            ensure_registered()
+        last_contact = time.monotonic()
+        while True:
+            try:
+                sock = socket.create_connection(
+                    self._address, timeout=self._io_timeout_s)
+            except OSError as exc:
+                if time.monotonic() - last_contact > self._patience_s:
+                    log.error(
+                        "fabric worker %s: coordinator %s unreachable for "
+                        "%.0fs; giving up (%s)", self._id,
+                        format_address(self._address), self._patience_s, exc)
+                    return 1
+                time.sleep(self._reconnect_delay_s)
+                continue
+            try:
+                outcome = self._serve(sock)
+            except (socket.timeout, FrameError, OSError) as exc:
+                log.warning(
+                    "fabric worker %s: connection lost (%s); reconnecting",
+                    self._id, exc)
+                outcome = "reconnect"
+            finally:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if outcome == "shutdown":
+                return 0
+            if outcome == "broken":
+                return 1
+            last_contact = time.monotonic()
+            time.sleep(self._reconnect_delay_s)
+
+    # -- one connection --------------------------------------------------
+
+    def _serve(self, sock: socket.socket) -> str:
+        sock.settimeout(self._io_timeout_s)
+        send_frame(sock, {
+            "type": "hello",
+            "worker": self._id,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        })
+        welcome = self._recv_welcome(sock)
+        digest = welcome.get("digest", "")
+        if self._digest is not None and digest != self._digest:
+            # A different sweep took over this address: in-flight
+            # results belong to the old case-index space; drop them.
+            log.warning(
+                "fabric worker %s: coordinator digest changed "
+                "(%s -> %s); discarding %d stale in-flight case(s)",
+                self._id, self._digest, digest, len(self._pending))
+            self._pending.clear()
+        if self._digest != digest:
+            self._spec = ScenarioSpec.from_dict(welcome["spec"])
+            self._digest = digest
+            self._verify = bool(welcome.get("verify"))
+        assert self._spec is not None
+        log.info(
+            "fabric worker %s: connected to %s (digest %s, jobs=%d, "
+            "%d case(s) already in flight)", self._id,
+            format_address(self._address), digest, self._jobs,
+            len(self._pending))
+
+        draining = False
+        last_sent = time.monotonic()
+        while True:
+            # 1. Deliver every finished case (one reply per frame).
+            for index in sorted(self._pending):
+                task = self._pending[index]
+                if not task.ready():
+                    continue
+                payload = task.take()
+                del self._pending[index]
+                if isinstance(payload, dict) and "__error__" in payload:
+                    request(sock, {
+                        "type": "error", "index": index,
+                        "error": payload["__error__"],
+                    })
+                else:
+                    request(sock, {
+                        "type": "result", "index": index, "payload": payload,
+                    })
+                last_sent = time.monotonic()
+
+            # 2. Watch the pool: a vanished pid means a case SIGKILLed a
+            # pool worker and the in-flight result will never arrive.
+            if self._pool is not None:
+                pids = executor._pool_pids(self._pool)
+                if pids != self._pool_pids:
+                    log.error(
+                        "fabric worker %s: pool worker died "
+                        "(pids %s -> %s); exiting so the coordinator "
+                        "re-queues the lease", self._id,
+                        sorted(self._pool_pids), sorted(pids))
+                    return "broken"
+
+            # 3. Fill free executor slots.
+            wait_delay = 0.0
+            if not draining and len(self._pending) < self._jobs:
+                reply = request(sock, {"type": "fetch", "worker": self._id})
+                last_sent = time.monotonic()
+                rtype = reply.get("type")
+                if rtype == "lease":
+                    self._dispatch(reply)
+                    continue
+                if rtype == "wait":
+                    wait_delay = float(reply.get("delay", 0.1))
+                elif rtype == "shutdown":
+                    draining = True
+                else:
+                    raise FrameError(f"unexpected fetch reply {rtype!r}")
+
+            if draining and not self._pending:
+                request(sock, {"type": "goodbye"})
+                log.info("fabric worker %s: drained; shutting down", self._id)
+                return "shutdown"
+
+            # 4. Keep the heartbeat fresher than the coordinator's
+            # timeout while sleeping through waits / busy executors.
+            now = time.monotonic()
+            if now - last_sent >= self._heartbeat_interval_s:
+                request(sock, {"type": "heartbeat"})
+                last_sent = now
+            time.sleep(min(0.05 + wait_delay, self._heartbeat_interval_s / 2)
+                       if wait_delay else 0.05)
+
+    def _recv_welcome(self, sock: socket.socket) -> Dict[str, Any]:
+        welcome = recv_frame(sock)
+        if welcome is None or welcome.get("type") != "welcome":
+            raise FrameError(f"expected welcome, got {welcome!r}")
+        return welcome
+
+    def _dispatch(self, lease: Dict[str, Any]) -> None:
+        assert self._spec is not None and self._digest is not None
+        index = int(lease["index"])
+        app = AppRef.coerce(lease["app"])
+        scheme = str(lease["scheme"])
+        seed = int(lease["seed"])
+        task = _Inflight(index)
+        if self._jobs > 1:
+            if self._pool is None:
+                self._pool = executor._warm_pool(
+                    self._jobs, self._spec, self._digest, self._verify)
+                self._pool_pids = executor._pool_pids(self._pool)
+            task.run_on_pool(self._pool, app, scheme, seed)
+        else:
+            task.run_on_thread(self._spec, app, scheme, seed, self._verify)
+        self._pending[index] = task
+        log.info(
+            "fabric worker %s: leased case %d (%s/%s/seed=%d)",
+            self._id, index, app.key, scheme, seed)

@@ -44,11 +44,14 @@ from repro.results.io import dumps_artifact, load_artifact
 from repro.results.model import AXES, SCHEMA_VERSION, CaseResult
 from repro.util.stats import mean, mean_ci, nearest_rank
 
-#: The envelope keys a sweep artifact may carry.  ``violations`` only
-#: appears on the in-memory envelope of a ``verify=True`` sweep (the
-#: on-disk artifact never carries it); it is tolerated, not stored.
+#: The envelope keys a sweep artifact may carry.  ``violations`` (a
+#: ``verify=True`` sweep), ``errors`` (cases that raised and exhausted
+#: their retry), and ``quarantined`` (fabric cases that kept killing
+#: their workers) only appear on in-memory envelopes — the on-disk
+#: artifact never carries them; they are tolerated, not stored.
 _ENVELOPE_REQUIRED = ("cases", "n_cases")
-_ENVELOPE_OPTIONAL = ("scenario", "spec", "schema_version", "violations")
+_ENVELOPE_OPTIONAL = ("scenario", "spec", "schema_version", "violations",
+                      "errors", "quarantined")
 
 
 #: stat name -> reducer over a non-empty numeric sample.

@@ -41,6 +41,7 @@ import multiprocessing
 import os
 import re
 import sys
+import traceback
 from typing import Any, Dict, Iterator, List, Optional, TextIO, Tuple
 
 from repro.apps.registry import AppRef, get_app
@@ -48,15 +49,19 @@ from repro.results.io import COMPACT_THRESHOLD
 from repro.scenarios.runner import case_to_dict, run_case, scheme_factory
 from repro.scenarios.spec import ScenarioSpec
 from repro.telemetry.timeline import dumps_timeline
+from repro.util.simlog import get_logger
 
 #: Executor observability (monotone counters; tests and the perf suite
 #: read these — nothing here ever reaches an artifact).
 stats: Dict[str, int] = {
     "pool_creates": 0,
     "pool_reuses": 0,
+    "pool_rebuilds": 0,
     "cache_hits": 0,
     "cache_misses": 0,
     "cases_run": 0,
+    "case_retries": 0,
+    "case_errors": 0,
 }
 
 
@@ -116,6 +121,11 @@ _WORKER_VERIFY: bool = False
 
 def _init_worker(spec_dict: Dict[str, Any], verify: bool = False) -> None:
     global _WORKER_SPEC, _WORKER_VERIFY
+    if os.environ.get("REPRO_ENABLE_TEST_SCHEMES"):
+        # Arm the chaos test schemes in every worker so a spec whose
+        # matrix names them validates and executes here too.
+        from repro.fabric.testing import ensure_registered
+        ensure_registered()
     _WORKER_SPEC = ScenarioSpec.from_dict(spec_dict)
     _WORKER_VERIFY = verify
 
@@ -140,9 +150,42 @@ def _execute_case(
     return payload
 
 
+def _error_record(exc: BaseException) -> Dict[str, Any]:
+    """A JSON-able description of a case failure (type, message, and the
+    tail of the traceback — capped so a pathological repr cannot bloat
+    run reports or fabric frames)."""
+    text = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__))
+    if len(text) > 4000:
+        text = "...\n" + text[-4000:]
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": text,
+    }
+
+
+def _try_execute(
+    spec: ScenarioSpec, app: AppRef, scheme: str, seed: int,
+    verify: bool = False,
+) -> Dict[str, Any]:
+    """:func:`_execute_case`, but an exception becomes a structured
+    ``{"__error__": ...}`` payload instead of unwinding the sweep.
+
+    Only ``Exception`` is captured: ``KeyboardInterrupt``/``SystemExit``
+    (and a SIGKILL, which no handler sees) still tear the process down.
+    The sentinel key cannot collide with a real payload — case rows and
+    telemetry envelopes never contain dunder keys.
+    """
+    try:
+        return _execute_case(spec, app, scheme, seed, verify=verify)
+    except Exception as exc:
+        return {"__error__": _error_record(exc)}
+
+
 def _case_worker(payload: Tuple[AppRef, str, int]) -> Dict[str, Any]:
     app, scheme, seed = payload
-    return _execute_case(_WORKER_SPEC, app, scheme, seed, verify=_WORKER_VERIFY)
+    return _try_execute(_WORKER_SPEC, app, scheme, seed, verify=_WORKER_VERIFY)
 
 
 # -- warm pool ----------------------------------------------------------------
@@ -171,6 +214,30 @@ def _start_method() -> str:
         if method in available:
             return method
     return "spawn"  # pragma: no cover - every platform has spawn
+
+
+#: How often a stalled ``imap`` wakes up to check the pool's pulse.
+_POOL_POLL_S = 0.5
+
+
+class PoolBrokenError(RuntimeError):
+    """A pool worker died (SIGKILLed, OOM-killed, segfaulted) while the
+    sweep was waiting on it.
+
+    ``multiprocessing.Pool`` silently repopulates the dead worker but
+    the in-flight task is *lost* — ``imap`` would block forever.  The
+    executor detects the death actively (a result stall plus a changed
+    worker pid-set) and raises this instead, so ``run_sweep`` can
+    rebuild the pool once and resume from the cases not yet merged.
+    """
+
+
+def _pool_pids(pool) -> frozenset:
+    """The pool's current worker pids (changes when a worker dies and
+    the pool repopulates it).  Reads a private attribute, so degrade to
+    an empty set on pool-like stand-ins that lack it — the watchdog
+    then simply never trips."""
+    return frozenset(proc.pid for proc in getattr(pool, "_pool", ()))
 
 
 _pool = None
@@ -255,12 +322,27 @@ class CaseCache:
         base = self.path(digest, app_key, scheme, seed)
         return base[:-len(".json")] + ".timeline.json"
 
-    @staticmethod
-    def _read(path: str) -> Optional[Dict]:
+    #: Paths already warned about, so one corrupt entry logs once per
+    #: process — not once per resume attempt.
+    _corrupt_warned: set = set()
+
+    @classmethod
+    def _read(cls, path: str) -> Optional[Dict]:
         try:
             with open(path, encoding="utf-8") as fh:
                 return json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
+            return None  # absent entry: an ordinary cold miss
+        except ValueError:
+            # The file exists but is not valid JSON — torn write or
+            # disk corruption.  Still a miss (the case just re-runs),
+            # but say so once: operators need to distinguish "cold
+            # cache" from "my cache directory is rotting".
+            if path not in cls._corrupt_warned:
+                cls._corrupt_warned.add(path)
+                get_logger().warning(
+                    "resume cache: corrupt entry treated as a miss "
+                    "(will re-simulate): %s", path)
             return None
 
     @staticmethod
@@ -467,20 +549,57 @@ def run_sweep(
     parallel = jobs > 1 and len(missing) > 1
 
     def _fresh() -> Iterator[Dict[str, Any]]:
-        """Missing-case payloads in matrix order (imap preserves it)."""
-        if parallel:
-            n_procs = min(jobs, len(missing))
-            pool = _warm_pool(n_procs, spec, digest, verify)
-            payloads = [case for _i, case in missing]
-            yield from pool.imap(
-                _case_worker, payloads, chunksize=_chunksize(len(payloads), n_procs)
-            )
-        else:
+        """Missing-case payloads in matrix order (imap preserves it).
+
+        A dead pool worker (SIGKILL, OOM) would hang ``imap`` forever:
+        the pool repopulates the process but the in-flight task is
+        lost.  The parallel branch therefore polls with a timeout and
+        watches the pool's pid-set — a stall plus a changed pid-set is
+        a death, answered by rebuilding the pool *once* and re-running
+        the cases not yet yielded (determinism makes re-execution
+        free).  A second death aborts the sweep for real.
+        """
+        if not parallel:
             for _i, (app, scheme, seed) in missing:
-                yield _execute_case(spec, app, scheme, seed, verify=verify)
+                yield _try_execute(spec, app, scheme, seed, verify=verify)
+            return
+        remaining = [case for _i, case in missing]
+        rebuilds = 0
+        while remaining:
+            n_procs = min(jobs, len(remaining))
+            pool = _warm_pool(n_procs, spec, digest, verify)
+            pids = _pool_pids(pool)
+            results = pool.imap(
+                _case_worker, remaining,
+                chunksize=_chunksize(len(remaining), n_procs))
+            done = 0
+            try:
+                while done < len(remaining):
+                    try:
+                        payload = results.next(timeout=_POOL_POLL_S)
+                    except multiprocessing.TimeoutError:
+                        if _pool_pids(pool) != pids:
+                            raise PoolBrokenError(
+                                "a pool worker died mid-case; its task is "
+                                "lost and the pool must be rebuilt"
+                            ) from None
+                        continue
+                    done += 1
+                    yield payload
+                return
+            except PoolBrokenError:
+                stats["pool_rebuilds"] += 1
+                shutdown_pool()
+                rebuilds += 1
+                if rebuilds > 1:
+                    raise
+                # imap is ordered: everything before `done` was already
+                # yielded and merged; re-dispatch only the tail.
+                remaining = remaining[done:]
 
     rows: List[Dict[str, Any]] = []
     violations: List[Dict[str, Any]] = []
+    errors: List[Dict[str, Any]] = []
     fresh = _fresh()
     try:
         for i, (app, scheme, seed) in enumerate(cases):
@@ -488,6 +607,21 @@ def run_sweep(
             timeline = cached_timelines.get(i)
             if row is None:
                 payload = next(fresh)
+                if isinstance(payload, dict) and "__error__" in payload:
+                    # The case raised instead of producing a row; retry
+                    # once in-process (transient failures — a flaky
+                    # extension scheme, an OS hiccup — get one more
+                    # shot) before reporting it.
+                    stats["case_retries"] += 1
+                    payload = _try_execute(
+                        spec, app, scheme, seed, verify=verify)
+                if isinstance(payload, dict) and "__error__" in payload:
+                    stats["case_errors"] += 1
+                    errors.append({
+                        "app": app.key, "scheme": scheme, "seed": seed,
+                        "attempts": 2, "error": payload["__error__"],
+                    })
+                    continue  # failure record only — never an artifact row
                 if telemetry_on or verify:
                     row, timeline = payload["row"], payload.get("timeline")
                     for v in payload.get("violations", ()):
@@ -529,4 +663,9 @@ def run_sweep(
         # tail never grows keys, so verified and plain sweeps write
         # byte-identical files.
         envelope["violations"] = violations
+    if errors:
+        # Same rule as violations: failure records are run-report
+        # material, never artifact bytes (and absent when empty, so
+        # clean sweeps round-trip unchanged).
+        envelope["errors"] = errors
     return envelope

@@ -1,0 +1,22 @@
+"""The PR's acceptance scenario: SIGKILL a worker mid-sweep on the
+quick paper figure-8 matrix and prove the artifact is byte-identical
+to a serial run anyway."""
+
+from repro import scenarios
+from repro.fabric.chaos import run_chaos
+
+
+def test_chaos_kill_one_worker_still_byte_identical(tmp_path):
+    spec = scenarios.get("paper-fig8").quick()
+    result = run_chaos(
+        spec, work_dir=str(tmp_path), n_workers=2, kills=1, seed=0,
+        lease_timeout_s=20.0, heartbeat_timeout_s=5.0,
+        backoff_base_s=0.05, idle_timeout_s=120.0)
+
+    assert result.kills_delivered == 1
+    assert result.respawns >= 1          # the victim was replaced
+    assert result.identical, (
+        f"fabric artifact diverged from serial after a worker SIGKILL "
+        f"({result.serial_path} vs {result.fabric_path})")
+    assert not result.quarantined and not result.errors
+    assert result.n_cases == len(list(spec.matrix.cases()))

@@ -1,0 +1,133 @@
+"""Wire-protocol tests: framing, EOF semantics, address parsing."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.fabric.protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    format_address,
+    parse_address,
+    recv_frame,
+    request,
+    send_frame,
+)
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5)
+    b.settimeout(5)
+    return a, b
+
+
+def test_frame_round_trip_preserves_the_message():
+    a, b = _pair()
+    try:
+        message = {"type": "result", "index": 3,
+                   "payload": {"row": {"x": [1, 2, None], "u": "naïve"}}}
+        send_frame(a, message)
+        assert recv_frame(b) == message
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frames_queue_back_to_back():
+    a, b = _pair()
+    try:
+        for i in range(5):
+            send_frame(a, {"type": "heartbeat", "n": i})
+        for i in range(5):
+            assert recv_frame(b) == {"type": "heartbeat", "n": i}
+    finally:
+        a.close()
+        b.close()
+
+
+def test_clean_eof_at_frame_boundary_is_none():
+    a, b = _pair()
+    a.close()
+    try:
+        assert recv_frame(b) is None
+    finally:
+        b.close()
+
+
+def test_eof_mid_frame_raises():
+    a, b = _pair()
+    try:
+        # A header promising 100 bytes, then hang up after 3.
+        a.sendall(struct.pack(">I", 100) + b"abc")
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_oversized_length_header_raises_without_allocating():
+    a, b = _pair()
+    try:
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="exceeds cap"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+@pytest.mark.parametrize("body", [b"not json", b"[1, 2]", b"{\"no_type\": 1}"])
+def test_malformed_bodies_raise(body):
+    a, b = _pair()
+    try:
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(FrameError):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_request_round_trip_and_hangup():
+    a, b = _pair()
+
+    def _echo():
+        message = recv_frame(b)
+        send_frame(b, {"type": "ack", "echo": message["type"]})
+        recv_frame(b)  # second request: hang up instead of replying
+        b.close()
+
+    thread = threading.Thread(target=_echo)
+    thread.start()
+    try:
+        assert request(a, {"type": "fetch"}) == {"type": "ack", "echo": "fetch"}
+        with pytest.raises(FrameError, match="no reply"):
+            request(a, {"type": "fetch"})
+    finally:
+        thread.join(timeout=5)
+        a.close()
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("example.org:7381", ("example.org", 7381)),
+    (":7381", ("127.0.0.1", 7381)),
+    ("7381", ("127.0.0.1", 7381)),
+    ("0.0.0.0:0", ("0.0.0.0", 0)),
+])
+def test_parse_address(text, expected):
+    assert parse_address(text) == expected
+
+
+@pytest.mark.parametrize("text", ["", "host:", "host:port", "host:-1",
+                                  "host:65536"])
+def test_parse_address_rejects_garbage(text):
+    with pytest.raises(ValueError):
+        parse_address(text)
+
+
+def test_format_address_round_trips():
+    assert parse_address(format_address(("10.0.0.2", 9))) == ("10.0.0.2", 9)
