@@ -1,0 +1,89 @@
+"""Baseline bookkeeping: the gate is "no *new* findings".
+
+The committed ``lint-baseline.json`` at the repo root holds the
+fingerprints of known findings (ideally none).  A lint run fails only
+on findings whose fingerprint is not in the baseline — so adopting the
+linter never blocks on legacy debt, and paying debt down just shrinks
+the file.  Fingerprints are content-based (rule, module path, stripped
+source line) and counted as a multiset: two identical offending lines
+in one file need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_NAME = "lint-baseline.json"
+_FORMAT_VERSION = 1
+
+
+def default_baseline_path(start: Optional[str] = None) -> Optional[str]:
+    """The nearest committed baseline: walk up from ``start`` (default
+    cwd) looking for ``lint-baseline.json``; None when there isn't one."""
+    here = os.path.abspath(start or os.getcwd())
+    while True:
+        candidate = os.path.join(here, BASELINE_NAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(here)
+        if parent == here:
+            return None
+        here = parent
+
+
+def load_baseline(path: str) -> Counter:
+    """The baseline's fingerprint multiset (bad files raise ValueError
+    with the path, so the CLI error is actionable)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from None
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"baseline {path} is not a lint baseline "
+                         "(missing 'findings')")
+    counts: Counter = Counter()
+    for entry in data["findings"]:
+        counts[str(entry["fingerprint"])] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Persist the current findings as the new baseline (sorted, one
+    entry per distinct fingerprint, stable bytes)."""
+    counts: Counter = Counter(f.fingerprint for f in findings)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": [
+            {"fingerprint": fp, "count": n}
+            for fp, n in sorted(counts.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def diff_against(findings: List[Finding],
+                 baseline: Counter) -> Tuple[List[Finding], Dict[str, int]]:
+    """Split findings into (new, matched-counts).
+
+    Multiset semantics: each baseline entry absorbs at most ``count``
+    findings with that fingerprint; the rest are new.  Returns the new
+    findings (original order) and how many each fingerprint absorbed.
+    """
+    budget = Counter(baseline)
+    matched: Dict[str, int] = {}
+    new: List[Finding] = []
+    for f in findings:
+        if budget[f.fingerprint] > 0:
+            budget[f.fingerprint] -= 1
+            matched[f.fingerprint] = matched.get(f.fingerprint, 0) + 1
+        else:
+            new.append(f)
+    return new, matched

@@ -1,0 +1,190 @@
+"""Lock-discipline rule: a lightweight static race detector for the
+fabric control plane.
+
+The coordinator/ledger/chaos classes share state between the protocol
+thread, the accept loop, and per-connection handlers.  The discipline
+is simple: an attribute that is ever *written* under ``self._lock``
+belongs to the lock, and every other access to it must also hold the
+lock.  This rule infers the guarded-attribute set per class and flags
+out-of-lock accesses — the static shadow of what a race detector would
+catch at runtime.
+
+Inference details:
+
+* Lock attributes are ``self.X = threading.Lock()/RLock()/Condition()``
+  assignments; a ``Condition(self._lock)`` wraps the same mutex, so
+  holding either counts.
+* ``__init__``-family methods (``__init__``, ``__post_init__``) and
+  repr/debug methods are exempt — construction happens before the
+  object is shared.
+* A method whose every call site inside the class sits under the lock
+  is a *lock-context method* (a private helper like ``_spawn_one``
+  that documents "caller holds the lock"); its bodies are treated as
+  locked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.core import (
+    FileContext,
+    ImportMap,
+    Rule,
+    class_methods,
+    is_self_attr,
+    register_rule,
+)
+from repro.analysis.project import LOCK_PATHS, in_paths
+
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+})
+
+_EXEMPT_METHODS = frozenset({
+    "__init__", "__post_init__", "__repr__", "__str__", "__del__",
+})
+
+
+class _MethodAccesses(ast.NodeVisitor):
+    """Collects, for one method, every ``self.X`` access and every
+    ``self.m()`` call site, each tagged with whether a with-lock block
+    encloses it."""
+
+    def __init__(self, lock_attrs: Set[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.depth = 0
+        #: (attr, node, is_store, locked)
+        self.accesses: List[Tuple[str, ast.AST, bool, bool]] = []
+        #: method name -> [locked?] per call site
+        self.calls: Dict[str, List[bool]] = {}
+
+    def _is_lock_expr(self, node: ast.AST) -> bool:
+        attr = is_self_attr(node)
+        return attr is not None and attr in self.lock_attrs
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = any(self._is_lock_expr(item.context_expr)
+                    for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        if holds:
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if holds:
+            self.depth -= 1
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        called = is_self_attr(node.func)
+        if called is not None:
+            self.calls.setdefault(called, []).append(self.depth > 0)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = is_self_attr(node)
+        if attr is not None and attr not in self.lock_attrs:
+            self.accesses.append(
+                (attr, node, isinstance(node.ctx, ast.Store), self.depth > 0))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs (thread targets, closures) run later, possibly
+        # without the lock: treat their bodies as unlocked.
+        saved = self.depth
+        self.depth = 0
+        self.generic_visit(node)
+        self.depth = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    """Guarded attributes accessed outside ``with self._lock:``."""
+
+    name = "lock-discipline"
+    family = "lock-discipline"
+    description = ("attribute written under self._lock accessed outside "
+                   "the lock in another method")
+
+    def check(self, ctx: FileContext) -> List:
+        if not in_paths(ctx.relpath, LOCK_PATHS):
+            return []
+        imports = ImportMap(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node, imports))
+        return findings
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef,
+                     imports: ImportMap) -> List:
+        lock_attrs = self._lock_attrs(cls, imports)
+        if not lock_attrs:
+            return []
+        methods = class_methods(cls)
+        scans = {name: self._scan(method, lock_attrs)
+                 for name, method in methods.items()}
+
+        # Guarded = written under the lock in any method.
+        guarded: Set[str] = set()
+        for scan in scans.values():
+            for attr, _node, is_store, locked in scan.accesses:
+                if is_store and locked:
+                    guarded.add(attr)
+        if not guarded:
+            return []
+
+        # Lock-context methods: every syntactic self.m() call site in
+        # the class is under the lock (and there is at least one).
+        call_sites: Dict[str, List[bool]] = {}
+        for scan in scans.values():
+            for name, sites in scan.calls.items():
+                call_sites.setdefault(name, []).extend(sites)
+        lock_context = {name for name, sites in call_sites.items()
+                        if name in methods and sites and all(sites)}
+
+        findings = []
+        for name, scan in sorted(scans.items()):
+            if name in _EXEMPT_METHODS or name in lock_context:
+                continue
+            for attr, node, is_store, locked in scan.accesses:
+                if attr in guarded and not locked:
+                    verb = "written" if is_store else "read"
+                    findings.append(ctx.finding(
+                        self.name, node,
+                        f"{cls.name}.{attr} is lock-guarded but {verb} "
+                        f"outside the lock in {name}(); hold self lock "
+                        "or capture the value under it"))
+        return findings
+
+    @staticmethod
+    def _scan(method: ast.FunctionDef, lock_attrs: Set[str]) -> _MethodAccesses:
+        scan = _MethodAccesses(lock_attrs)
+        for stmt in method.body:
+            scan.visit(stmt)
+        return scan
+
+    @staticmethod
+    def _lock_attrs(cls: ast.ClassDef, imports: ImportMap) -> Set[str]:
+        locks: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            resolved = imports.resolve_call(node.value) or ""
+            if resolved not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                attr = is_self_attr(target)
+                if attr is not None:
+                    locks.add(attr)
+        return locks

@@ -1,0 +1,175 @@
+"""Observer-purity rule: Trace observers observe, nothing else.
+
+``Trace.add_observer`` callbacks run synchronously inside the
+simulator's hot loop.  The byte-identity contract (telemetry on/off
+must not change artifacts) holds only if those callbacks never touch
+the scheduler, the RNG registry, or anything else that perturbs the
+event stream.  This rule walks the *callback closure* — the registered
+method, every ``self.helper()`` it reaches, and every handler a
+dispatch-table attribute points at — and flags scheduler/RNG calls
+inside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.analysis.core import (
+    FileContext,
+    ImportMap,
+    Rule,
+    class_methods,
+    is_self_attr,
+    register_rule,
+)
+from repro.analysis.project import SCHEDULER_API
+
+
+def _self_attr_values(node: ast.AST) -> Set[str]:
+    """Every ``self.X`` attr name referenced anywhere under ``node``."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        attr = is_self_attr(sub)
+        if attr is not None:
+            out.add(attr)
+    return out
+
+
+@register_rule
+class ObserverPurityRule(Rule):
+    """Scheduler/RNG calls reachable from a Trace-observer callback."""
+
+    name = "observer-purity"
+    family = "observer-purity"
+    description = ("Trace observer callback calls scheduler/RNG APIs; "
+                   "observers must be observe-only")
+
+    def check(self, ctx: FileContext) -> List:
+        imports = ImportMap(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node, imports))
+        return findings
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef,
+                     imports: ImportMap) -> List:
+        methods = class_methods(cls)
+        if not methods:
+            return []
+        handler_attrs = self._handler_table_attrs(cls, methods)
+        entries = self._registered_entries(cls, methods, handler_attrs)
+        if not entries:
+            return []
+        closure = self._closure(entries, methods, handler_attrs)
+        findings = []
+        for name in sorted(closure):
+            findings.extend(
+                self._check_method(ctx, cls, methods[name], imports))
+        return findings
+
+    # -- closure construction --------------------------------------------
+
+    @staticmethod
+    def _handler_table_attrs(cls: ast.ClassDef,
+                             methods: Dict[str, ast.FunctionDef],
+                             ) -> Dict[str, Set[str]]:
+        """``self.X = {...: self.m}`` dispatch tables: attr -> methods."""
+        tables: Dict[str, Set[str]] = {}
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, (ast.Dict, ast.List, ast.Tuple)):
+                continue
+            referenced = {m for m in _self_attr_values(node.value)
+                          if m in methods}
+            if not referenced:
+                continue
+            for target in node.targets:
+                attr = is_self_attr(target)
+                if attr is not None:
+                    tables.setdefault(attr, set()).update(referenced)
+        return tables
+
+    @staticmethod
+    def _registered_entries(cls: ast.ClassDef,
+                            methods: Dict[str, ast.FunctionDef],
+                            handler_attrs: Dict[str, Set[str]]) -> Set[str]:
+        """Methods handed to ``*.add_observer(...)`` (directly or via a
+        dispatch-table attribute passed as an argument)."""
+        entries: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "add_observer"):
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                attr = is_self_attr(value)
+                if attr is None:
+                    continue
+                if attr in methods:
+                    entries.add(attr)
+                entries.update(handler_attrs.get(attr, ()))
+        return entries
+
+    @staticmethod
+    def _closure(entries: Set[str], methods: Dict[str, ast.FunctionDef],
+                 handler_attrs: Dict[str, Set[str]]) -> Set[str]:
+        """Transitive ``self.m()`` / dispatch-table reachability."""
+        closure: Set[str] = set()
+        work = sorted(entries)
+        while work:
+            name = work.pop()
+            if name in closure or name not in methods:
+                continue
+            closure.add(name)
+            for node in ast.walk(methods[name]):
+                called = None
+                if isinstance(node, ast.Call):
+                    called = is_self_attr(node.func)
+                if called and called in methods:
+                    work.append(called)
+                # A referenced dispatch table pulls in its handlers.
+                attr = is_self_attr(node)
+                if attr and attr in handler_attrs:
+                    work.extend(handler_attrs[attr])
+        return closure
+
+    # -- purity check ----------------------------------------------------
+
+    def _check_method(self, ctx: FileContext, cls: ast.ClassDef,
+                      method: ast.FunctionDef, imports: ImportMap) -> List:
+        findings = []
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                receiver_is_self = (isinstance(func.value, ast.Name)
+                                    and func.value.id == "self")
+                if func.attr in SCHEDULER_API and not receiver_is_self:
+                    findings.append(ctx.finding(
+                        self.name, node,
+                        f"observer callback {cls.name}.{method.name}() "
+                        f"calls scheduler API .{func.attr}(); Trace "
+                        "observers must be observe-only"))
+                    continue
+                if func.attr == "stream" and not receiver_is_self:
+                    findings.append(ctx.finding(
+                        self.name, node,
+                        f"observer callback {cls.name}.{method.name}() "
+                        "draws from an RNG stream; Trace observers must "
+                        "be observe-only"))
+                    continue
+            resolved = imports.resolve_call(node) or ""
+            parts = resolved.split(".")
+            if parts[0] == "random" or parts[:2] == ["numpy", "random"]:
+                findings.append(ctx.finding(
+                    self.name, node,
+                    f"observer callback {cls.name}.{method.name}() "
+                    "calls the RNG; Trace observers must be observe-only"))
+        return findings

@@ -20,10 +20,9 @@ nodes) and *how* a failed node is brought back.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.baselines.interface import FaultToleranceScheme
-from repro.core.region import TUPLE_ENVELOPE
 from repro.net.packet import Message
 from repro.net.wifi import Unreachable
 

@@ -13,10 +13,9 @@ ceiling is the uplink, exactly as in the paper.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.core.app import AppSpec
 from repro.core.graph import QueryGraph
@@ -30,7 +29,6 @@ from repro.sim.core import Simulator
 from repro.sim.monitor import Trace
 from repro.sim.resources import Resource
 from repro.sim.rng import RngRegistry
-from repro.util.units import Mbps
 
 
 @dataclass

@@ -19,7 +19,6 @@ render the paper-style text tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.bench.harness import ExperimentConfig, format_table, run_experiment

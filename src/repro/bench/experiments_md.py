@@ -230,10 +230,10 @@ def main(argv=None) -> int:
     for name, fn in (("Table I", table1_section), ("Fig. 8", fig8_section),
                      ("Fig. 9", fig9_section), ("Fig. 10", fig10_section),
                      ("Ablations", ablation_section)):
-        t0 = time.time()
+        t0 = time.perf_counter()
         print(f"[experiments_md] running {name}...", flush=True)
         sections.append(fn())
-        print(f"[experiments_md] {name} done in {time.time() - t0:.0f}s",
+        print(f"[experiments_md] {name} done in {time.perf_counter() - t0:.0f}s",
               flush=True)
     with open(args.out, "w") as f:
         f.write("\n\n".join(sections) + "\n")

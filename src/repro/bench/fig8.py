@@ -16,7 +16,6 @@ from repro.bench.harness import (
     ExperimentOutcome,
     format_table,
     run_experiment,
-    scheme_factories,
 )
 from repro.results import ResultSet
 

@@ -13,7 +13,6 @@ Pure functions over plain data; no plotting dependencies.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 FULL = "█"

@@ -34,10 +34,10 @@ def main(argv=None) -> int:
     }
     selected = [args.only] if args.only else list(artifacts)
     for name in selected:
-        t0 = time.time()
+        t0 = time.perf_counter()
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
         print(artifacts[name]())
-        print(f"[{name} regenerated in {time.time() - t0:.1f}s wall]")
+        print(f"[{name} regenerated in {time.perf_counter() - t0:.1f}s wall]")
     return 0
 
 

@@ -11,7 +11,6 @@ Rows reproduced:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.baselines.server_dsps import ServerDSPS, ServerDSPSConfig

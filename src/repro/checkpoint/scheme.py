@@ -24,7 +24,7 @@ Composes the paper's machinery:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.baselines.interface import FaultToleranceScheme
 from repro.checkpoint.broadcast import BroadcastSettings, broadcast_checkpoint

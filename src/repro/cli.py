@@ -48,6 +48,12 @@ Commands
     violation), ``shrink`` delta-debugs a failing spec file down to a
     minimal reproducer that re-triggers via
     ``scenario run <file> --verify``.
+``lint``
+    Project-aware static analysis (see :mod:`repro.analysis`): walk the
+    tree's ASTs with the determinism / API-contract / observer-purity /
+    lock-discipline rule catalog, gate on the committed
+    ``lint-baseline.json`` (fail only on *new* findings), or check
+    ScenarioSpec JSON files statically (``lint path/to/spec.json``).
 ``info``
     List the available applications, schemes, and the paper's reference
     numbers.
@@ -422,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_shrink.add_argument("--out", default=None, metavar="FILE",
                              help="minimized spec path "
                                   "(default <spec>.min.json)")
+
+    lint_p = sub.add_parser(
+        "lint", help="project-aware static analysis (determinism, API "
+                     "contracts, observer purity, lock discipline)")
+    from repro.analysis.cli import configure_parser as _configure_lint
+    _configure_lint(lint_p)
 
     sub.add_parser("info", help="list apps, schemes, paper numbers")
     return parser
@@ -1087,13 +1099,18 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import cmd_lint as _cmd_lint
+    return _cmd_lint(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     return {"run": cmd_run, "bench": cmd_bench, "scenario": cmd_scenario,
             "watch": cmd_watch, "report": cmd_report, "app": cmd_app,
             "perf": cmd_perf, "fuzz": cmd_fuzz, "fabric": cmd_fabric,
-            "info": cmd_info}[args.command](args)
+            "lint": cmd_lint, "info": cmd_info}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

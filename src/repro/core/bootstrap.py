@@ -23,7 +23,7 @@ time does not increase significantly when the region number increases"
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.controller import CONTROLLER_ID
@@ -190,7 +190,7 @@ class Bootstrapper:
         ev = self._threshold_events[region.name]
         if self.config.deadline_s is not None:
             deadline = self.sim.timeout(self.config.deadline_s)
-            result = yield self.sim.any_of([ev, deadline])
+            yield self.sim.any_of([ev, deadline])
             if not ev.triggered:
                 record.skipped = True
                 self._bypass(region)

@@ -9,14 +9,11 @@ treated as a single super operator").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 
 from repro.core.operator import Operator
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.placement import Placement
 
 
 class GraphError(Exception):

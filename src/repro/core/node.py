@@ -26,8 +26,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set, Tuple
 
-from repro.core.operator import Operator, OperatorContext
-from repro.core.tuples import CatchupEnd, StreamTuple, Token
+from repro.core.operator import Operator
+from repro.core.tuples import StreamTuple
 from repro.device.failures import PhoneFailure
 from repro.net.packet import Message
 from repro.sim.events import Event

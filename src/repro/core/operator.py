@@ -27,7 +27,6 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 from repro.core.tuples import StreamTuple
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.core import Simulator
     from repro.sim.rng import RngRegistry
 
 

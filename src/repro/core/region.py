@@ -17,7 +17,7 @@ Routing rules (Sections III-A/E):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -36,7 +36,7 @@ from repro.core.graph import QueryGraph
 from repro.core.node import NodeRuntime
 from repro.core.operator import OperatorContext
 from repro.core.placement import Placement
-from repro.core.tuples import StreamTuple, Token
+from repro.core.tuples import StreamTuple
 from repro.device.phone import Phone
 from repro.net.cellular import CellularNetwork, UnknownEndpoint
 from repro.net.packet import Message

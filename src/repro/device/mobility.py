@@ -17,12 +17,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.device.phone import Phone
     from repro.sim.core import Simulator
 
 #: Callback invoked as ``on_departure(phone_id)`` when a phone exits.

@@ -8,7 +8,7 @@ payloads ride along uninterpreted.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.util.units import GB
 

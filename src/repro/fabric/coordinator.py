@@ -38,7 +38,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.apps.registry import get_app
-from repro.fabric.ledger import DONE, ERRORED, QUARANTINED, TERMINAL, CaseLedger
+from repro.fabric.ledger import DONE, QUARANTINED, TERMINAL, CaseLedger
 from repro.fabric.protocol import FrameError, recv_frame, send_frame
 from repro.results.io import COMPACT_THRESHOLD
 from repro.scenarios import executor
@@ -132,7 +132,10 @@ class FabricCoordinator:
     # -- control plane ---------------------------------------------------
 
     def _accept_loop(self) -> None:
-        while not self._closing:
+        while True:
+            with self._lock:
+                if self._closing:
+                    return
             try:
                 sock, peer = self._listener.accept()
             except socket.timeout:
@@ -165,10 +168,11 @@ class FabricCoordinator:
                 # leases the fresh connection now holds.
                 owner = f"{hello.get('worker', 'anon')}#{self._conn_seq}"
                 self._last_progress = time.monotonic()
+                digest = self._digest
             send_frame(sock, {
                 "type": "welcome",
                 "spec": self._spec.to_dict(),
-                "digest": self._digest,
+                "digest": digest,
                 "verify": self._verify,
             })
             log.info("fabric: worker %s connected from %s", owner, peer)
@@ -199,7 +203,9 @@ class FabricCoordinator:
                 "fabric: worker %s missed its heartbeat (> %.1fs); "
                 "re-queuing its leases", owner, self._heartbeat_timeout_s)
         except (FrameError, OSError) as exc:
-            if owner is not None and not self._closing:
+            with self._lock:
+                closing = self._closing
+            if owner is not None and not closing:
                 log.warning(
                     "fabric: worker %s connection dropped (%s); "
                     "re-queuing its leases", owner, exc)
@@ -422,9 +428,10 @@ class FabricCoordinator:
         }
         if self._verify:
             envelope["violations"] = violations
-        assert self._ledger is not None
-        quarantined = self._ledger.quarantined_records()
-        errors = self._ledger.error_records()
+        with self._lock:
+            assert self._ledger is not None
+            quarantined = self._ledger.quarantined_records()
+            errors = self._ledger.error_records()
         # Like "violations": these keys live only in the returned
         # envelope — the streamed artifact's byte layout never changes.
         if quarantined:

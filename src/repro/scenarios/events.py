@@ -66,7 +66,7 @@ class EventDirector:
     def install(self) -> None:
         """Install hooks that must exist before the system starts."""
         surge_regions = {ev.region for ev in self.spec.events if ev.kind == "surge"}
-        for r in surge_regions:
+        for r in sorted(surge_regions):
             scalers: List[RateScaledWorkload] = []
 
             def wrap(workload, _acc=scalers):

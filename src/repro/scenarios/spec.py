@@ -41,7 +41,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.apps.registry import AppRef, AppRefLike
 from repro.util.simlog import get_logger

@@ -270,6 +270,8 @@ class Callback(Timeout):
 class ConditionValue:
     """Mapping-like result of a condition: the events that fired, in order."""
 
+    __slots__ = ("events",)
+
     def __init__(self, events: List[Event]) -> None:
         self.events = events
 
@@ -374,12 +376,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that fires when *all* of ``events`` have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that fires when *any* of ``events`` has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim, Condition.any_events, events)

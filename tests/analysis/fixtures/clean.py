@@ -1,0 +1,14 @@
+"""Counterpart to ``seeded_violation.py``: equivalent code written the
+sanctioned way; must lint clean under every rule.
+"""
+
+import random
+import time
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def elapsed(t0: float) -> float:
+    return time.perf_counter() - t0

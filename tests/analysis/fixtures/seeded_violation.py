@@ -1,0 +1,16 @@
+"""Deliberately broken fixture: the CI seeded-violation smoke lints this
+file and greps for the expected rule IDs.  Never imported by anything.
+"""
+
+import random
+import time
+
+
+def jitter() -> float:
+    # unseeded-rng: process-global stream.
+    return random.random()
+
+
+def stamp() -> float:
+    # wall-clock: host clock leaks into output.
+    return time.time()

@@ -1,0 +1,208 @@
+"""Determinism-family rules: firing and non-firing fixtures per rule."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+SERIAL_PATH = "repro/checkpoint/fixture.py"
+
+
+def findings(source, rule, relpath=SERIAL_PATH):
+    source = textwrap.dedent(source)
+    return [f for f in lint_source(source, relpath) if f.rule == rule]
+
+
+# -- set-iteration --------------------------------------------------------
+
+def test_set_iteration_fires_on_for_loop_over_set_literal():
+    hits = findings(
+        """
+        def dump(out):
+            for x in {1, 2, 3}:
+                out.append(x)
+        """, "set-iteration")
+    assert len(hits) == 1
+    assert "sorted" in hits[0].message
+
+
+def test_set_iteration_fires_on_assigned_set_name_and_self_attr():
+    hits = findings(
+        """
+        class C:
+            def __init__(self):
+                self.pending = set()
+
+            def dump(self, items):
+                seen = {i.key for i in items}
+                a = [k for k in seen]
+                b = list(self.pending)
+                return a, b
+        """, "set-iteration")
+    assert len(hits) == 2
+
+
+def test_set_iteration_fires_on_join():
+    hits = findings(
+        """
+        def render(tags):
+            return ",".join(set(tags))
+        """, "set-iteration")
+    assert len(hits) == 1
+
+
+def test_set_iteration_quiet_when_sorted_or_membership_or_reduction():
+    hits = findings(
+        """
+        def dump(items, pending):
+            keys = set(items)
+            for k in sorted(keys):
+                yield k
+            if "x" in keys:
+                yield "x"
+            return len(keys), min(keys), sum(keys)
+        """, "set-iteration")
+    assert hits == []
+
+
+def test_set_iteration_quiet_for_set_comp_over_set():
+    # Unordered in, unordered out: no order leaks.
+    hits = findings(
+        """
+        def surviving(done, node):
+            return {k for k in done if k[0] != node}
+        """, "set-iteration")
+    assert hits == []
+
+
+def test_set_iteration_quiet_outside_serialization_paths():
+    hits = findings(
+        """
+        def spin():
+            for x in {1, 2}:
+                pass
+        """, "set-iteration", relpath="repro/sim/fixture.py")
+    assert hits == []
+
+
+# -- unseeded-rng ---------------------------------------------------------
+
+def test_unseeded_rng_fires_on_global_random_calls():
+    hits = findings(
+        """
+        import random
+
+        def draw(xs):
+            random.shuffle(xs)
+            return random.random()
+        """, "unseeded-rng")
+    assert len(hits) == 2
+
+
+def test_unseeded_rng_fires_on_from_import_and_numpy():
+    hits = findings(
+        """
+        import numpy as np
+        from random import choice
+
+        def draw(xs):
+            np.random.seed(0)
+            rng = np.random.default_rng()
+            return choice(xs)
+        """, "unseeded-rng")
+    assert len(hits) == 3
+
+
+def test_unseeded_rng_fires_on_seedless_random_ctor():
+    hits = findings(
+        """
+        import random
+
+        def make():
+            return random.Random()
+        """, "unseeded-rng")
+    assert len(hits) == 1
+
+
+def test_unseeded_rng_quiet_for_seeded_generators():
+    hits = findings(
+        """
+        import random
+        import numpy as np
+
+        def make(seed):
+            return random.Random(seed), np.random.default_rng(seed)
+        """, "unseeded-rng")
+    assert hits == []
+
+
+def test_unseeded_rng_quiet_inside_rng_module():
+    hits = findings(
+        """
+        import random
+
+        def stream():
+            return random.random()
+        """, "unseeded-rng", relpath="repro/sim/rng.py")
+    assert hits == []
+
+
+# -- wall-clock -----------------------------------------------------------
+
+def test_wall_clock_fires_on_time_time_and_datetime_now():
+    hits = findings(
+        """
+        import time
+        from datetime import datetime
+
+        def stamp():
+            return time.time(), datetime.now()
+        """, "wall-clock")
+    assert len(hits) == 2
+    assert "perf_counter" in hits[0].message
+
+
+def test_wall_clock_fires_on_from_import():
+    hits = findings(
+        """
+        from time import time
+
+        def stamp():
+            return time()
+        """, "wall-clock")
+    assert len(hits) == 1
+
+
+def test_wall_clock_quiet_for_monotonic_clocks():
+    hits = findings(
+        """
+        import time
+
+        def elapsed(t0):
+            return time.perf_counter() - t0, time.monotonic()
+        """, "wall-clock")
+    assert hits == []
+
+
+# -- id-order -------------------------------------------------------------
+
+def test_id_order_fires_on_sort_keys_and_comparisons():
+    hits = findings(
+        """
+        def order(xs, a, b):
+            xs.sort(key=id)
+            ranked = sorted(xs, key=lambda o: id(o))
+            return ranked, id(a) < id(b)
+        """, "id-order")
+    assert len(hits) == 3
+
+
+def test_id_order_quiet_for_identity_memo_and_stable_keys():
+    hits = findings(
+        """
+        def memo(xs):
+            seen = {}
+            for x in xs:
+                seen[id(x)] = x
+            return sorted(xs, key=str)
+        """, "id-order")
+    assert hits == []

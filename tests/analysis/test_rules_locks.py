@@ -1,0 +1,173 @@
+"""Lock-discipline rule: guarded attrs must be touched under the lock."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def findings(source, relpath="repro/fabric/fixture.py"):
+    source = textwrap.dedent(source)
+    return [f for f in lint_source(source, relpath)
+            if f.rule == "lock-discipline"]
+
+
+def test_fires_on_unlocked_read_of_guarded_attr():
+    hits = findings(
+        """
+        import threading
+
+        class Coord:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._closing = False
+
+            def close(self):
+                with self._lock:
+                    self._closing = True
+
+            def loop(self):
+                while not self._closing:
+                    pass
+        """)
+    assert len(hits) == 1
+    assert "_closing" in hits[0].message and "read" in hits[0].message
+
+
+def test_fires_on_unlocked_write():
+    hits = findings(
+        """
+        import threading
+
+        class Coord:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._n += 1
+
+            def reset(self):
+                self._n = 0
+        """)
+    assert len(hits) == 1
+    assert "written" in hits[0].message
+
+
+def test_condition_counts_as_holding_the_lock():
+    hits = findings(
+        """
+        import threading
+
+        class Coord:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition(self._lock)
+                self._done = False
+
+            def finish(self):
+                with self._lock:
+                    self._done = True
+
+            def wait(self):
+                with self._cond:
+                    while not self._done:
+                        self._cond.wait()
+        """)
+    assert hits == []
+
+
+def test_lock_context_helpers_are_exempt():
+    # _spawn is only ever called with the lock held, so its unlocked
+    # body is fine (the "caller holds the lock" idiom).
+    hits = findings(
+        """
+        import threading
+
+        class Fleet:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._spawned = 0
+
+            def start(self):
+                with self._lock:
+                    self._spawn()
+
+            def maintain(self):
+                with self._lock:
+                    self._spawn()
+
+            def _spawn(self):
+                self._spawned += 1
+        """)
+    assert hits == []
+
+
+def test_init_and_repr_are_exempt():
+    hits = findings(
+        """
+        import threading
+
+        class Coord:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._state = "new"
+
+            def go(self):
+                with self._lock:
+                    self._state = "running"
+
+            def __repr__(self):
+                return f"<Coord {self._state}>"
+        """)
+    assert hits == []
+
+
+def test_nested_function_bodies_count_as_unlocked():
+    # A closure handed to a thread runs later, without the lock.
+    hits = findings(
+        """
+        import threading
+
+        class Coord:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def start(self):
+                with self._lock:
+                    self._n = 1
+
+                    def work():
+                        self._n += 1
+                    threading.Thread(target=work).start()
+        """)
+    assert len(hits) == 1
+
+
+def test_quiet_outside_fabric_paths_and_without_locks():
+    source = """
+        import threading
+
+        class Coord:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._x = 0
+
+            def a(self):
+                with self._lock:
+                    self._x = 1
+
+            def b(self):
+                return self._x
+        """
+    assert findings(source, relpath="repro/sim/fixture.py") == []
+    assert findings(
+        """
+        class Plain:
+            def a(self):
+                self._x = 1
+
+            def b(self):
+                return self._x
+        """) == []

@@ -1,12 +1,11 @@
 """Unit tests for the FaultToleranceScheme interface and NoFT baseline."""
 
-import pytest
 
 from repro.baselines.base import NoFaultTolerance
 from repro.baselines.interface import FaultToleranceScheme
 from repro.core.controller import UNRECOVERABLE
 
-from tests.baselines._harness import PipelineApp, build_system, sink_seqs
+from tests.baselines._harness import build_system, sink_seqs
 
 
 def test_default_scheme_attributes():

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.replication import ActiveStandby
 
-from tests.baselines._harness import PipelineApp, build_system, sink_seqs
+from tests.baselines._harness import build_system, sink_seqs
 
 
 def build(seed=5, idle=2, k=2):

@@ -5,7 +5,6 @@ joins blocked on a token the departed node will never forward (the
 paper's "just ignoring the partial checkpoint data" rule).
 """
 
-import pytest
 
 from repro.checkpoint import MobiStreamsScheme
 from repro.checkpoint.token_protocol import TokenTracker

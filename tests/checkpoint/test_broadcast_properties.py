@@ -1,6 +1,5 @@
 """Property-based and behavioural tests of the broadcast protocol."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -12,7 +12,6 @@ the sender stops UDP after round 3 because cost (4099) > gain (4095).
 """
 
 import numpy as np
-import pytest
 
 from repro.checkpoint.broadcast import BroadcastSettings, broadcast_checkpoint
 from repro.net.loss import LossModel
@@ -41,7 +40,6 @@ class ScriptedLoss(LossModel):
 def fig6_cell(sim):
     """A 4-node cell with Fig. 6's scripted loss and zero protocol overhead
     (the paper's arithmetic has no headers)."""
-    n = 8192
     losses = {
         # Round 1: first 3 only. Round 2: all.
         "A": ScriptedLoss([

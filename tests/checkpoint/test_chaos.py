@@ -6,7 +6,6 @@ result, and loses at most the source-outage windows.  These are the
 system-level invariants behind every Fig. 9 point.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Recovery and mobility tests for the MobiStreams scheme (Sections III-D/E)."""
 
-import pytest
 
 from repro.checkpoint import MobiStreamsScheme
 from repro.core.app import AppSpec

@@ -9,9 +9,7 @@ The protocol must show:
 * E checkpoints only when both tokens are in, completing the region.
 """
 
-import pytest
 
-from repro.baselines import NoFaultTolerance
 from repro.checkpoint import MobiStreamsScheme, TokenTracker
 from repro.core.app import AppSpec
 from repro.core.graph import QueryGraph

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import NoFaultTolerance
 from repro.checkpoint import MobiStreamsScheme
-from repro.core.bootstrap import BootstrapConfig, Bootstrapper
+from repro.core.bootstrap import BootstrapConfig
 from repro.core.system import MobiStreamsSystem, SystemConfig
 
 from tests.baselines._harness import PipelineApp, sink_seqs
@@ -26,7 +26,7 @@ def test_config_validation():
 
 def test_phones_register_after_dwell():
     s = make_system()
-    boot = s.start_staged(BootstrapConfig(dwell_s=10.0))
+    s.start_staged(BootstrapConfig(dwell_s=10.0))
     s.run(5.0)
     assert not any(True for _ in s.trace.select("phone_registered"))
     s.run(20.0)
@@ -73,7 +73,7 @@ def test_boot_time_independent_of_region_count():
 
 def test_checkpoint_clock_armed_after_staged_boot():
     s = make_system(scheme=MobiStreamsScheme)
-    s.start_staged(BootstrapConfig(dwell_s=5.0))
+    boot = s.start_staged(BootstrapConfig(dwell_s=5.0))
     s.run(200.0)
     assert any(True for _ in s.trace.select("checkpoint_requested"))
 
@@ -143,7 +143,7 @@ def test_late_phone_registration_api():
 def test_dead_phone_never_registers():
     s = make_system()
     s.regions[0].phones["region0.p1"].alive = False
-    boot = s.start_staged(BootstrapConfig(dwell_s=5.0))
+    s.start_staged(BootstrapConfig(dwell_s=5.0))
     s.run(60.0)
     regs = [r.data["phone"] for r in s.trace.select("phone_registered")]
     assert "region0.p1" not in regs

@@ -5,9 +5,8 @@ import pytest
 from repro.baselines import NoFaultTolerance
 from repro.checkpoint import MobiStreamsScheme
 from repro.core.controller import UNRECOVERABLE, ControllerConfig
-from repro.core.system import MobiStreamsSystem, SystemConfig
 
-from tests.baselines._harness import PipelineApp, build_system
+from tests.baselines._harness import build_system
 
 
 def test_controller_config_validation():

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.metrics import MetricsReport, RegionMetrics, compute_metrics
+from repro.core.metrics import MetricsReport, compute_metrics
 from repro.sim.monitor import Trace
 
 

@@ -7,10 +7,8 @@ from repro.core.app import AppSpec
 from repro.core.graph import QueryGraph
 from repro.core.operator import (
     MapOperator,
-    Operator,
     SinkOperator,
     SourceOperator,
-    StatefulOperator,
 )
 from repro.core.placement import Placement
 from repro.core.system import MobiStreamsSystem, SystemConfig

@@ -4,7 +4,6 @@ Channel blocking, round-robin fairness, dedup, operator-error
 containment, and the pending-payload accessor used by handoffs.
 """
 
-import pytest
 
 from repro.baselines import NoFaultTolerance
 from repro.core.app import AppSpec

@@ -5,7 +5,6 @@ import pytest
 from repro.core.operator import (
     FilterOperator,
     MapOperator,
-    Operator,
     OperatorContext,
     SinkOperator,
     SourceOperator,

@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.checkpoint.store import CheckpointStore, PreservationStore
-from repro.core.graph import GraphError, QueryGraph
+from repro.core.graph import QueryGraph
 from repro.core.operator import MapOperator, SinkOperator, SourceOperator
 from repro.core.placement import Placement
 from repro.core.tuples import StreamTuple

@@ -6,7 +6,6 @@ trigger proactive handoff under MobiStreams; empty batteries crash the
 phone like any failure.
 """
 
-import pytest
 
 from repro.baselines import NoFaultTolerance
 from repro.checkpoint import MobiStreamsScheme

@@ -1,6 +1,5 @@
 """Tests wiring the mobility models into the full system."""
 
-import pytest
 
 from repro.checkpoint import MobiStreamsScheme
 from repro.device.mobility import ScriptedDepartures, StaticMobility

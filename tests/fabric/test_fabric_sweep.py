@@ -7,7 +7,6 @@ under test *is* process death.
 """
 
 import json
-import os
 import signal
 import socket
 import subprocess
@@ -15,7 +14,6 @@ import sys
 import threading
 import time
 
-import pytest
 
 from repro.fabric import FabricCoordinator, FabricWorker
 from repro.fabric.chaos import _worker_env, run_chaos

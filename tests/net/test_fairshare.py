@@ -139,7 +139,8 @@ def test_many_flows_contention_scales():
     def run(n):
         sim = Simulator()
         pipe = FairSharePipe(sim, capacity_bps=8000.0)
-        events = [pipe.transfer(1000) for _ in range(n)]
+        for _ in range(n):
+            pipe.transfer(1000)
         sim.run()
         return sim.now
 

@@ -1,6 +1,5 @@
 """Tests for loss models."""
 
-import numpy as np
 import pytest
 
 from repro.net import BernoulliLoss, GilbertElliottLoss, NoLoss

@@ -1,6 +1,5 @@
 """Tests for the sweep executor: determinism, parallelism, artifacts."""
 
-import dataclasses
 import json
 import os
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulator
-from repro.sim.events import AllOf, AnyOf, Event
+from repro.sim.events import AllOf, AnyOf
 
 
 def test_event_starts_pending():
